@@ -1,0 +1,84 @@
+//! The paper's §4.5 feasibility claim: TCD's per-dequeue work is O(1) and
+//! comparable to checking MMU occupancy. This bench compares the
+//! per-dequeue cost of the null detector, RED/ECN, the IB FECN rule and
+//! TCD (in and out of the ON-OFF pattern).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lossless_flowctl::{SimDuration, SimTime};
+use tcd_core::baseline::{EcnRed, IbFecn, RedConfig};
+use tcd_core::detector::{CongestionDetector, DequeueContext, LegacyScheme};
+use tcd_core::{TcdConfig, TcdDetector};
+
+fn ctx(i: u64) -> DequeueContext {
+    DequeueContext {
+        now: SimTime::from_ns(i * 200),
+        queue_bytes: (i * 997) % 400_000,
+        delayed_by_fc: false,
+    }
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector/on_dequeue");
+
+    group.bench_function("ecn_red", |b| {
+        let mut d = EcnRed::new(RedConfig::dcqcn_40g(), 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(d.on_dequeue(&ctx(i)))
+        })
+    });
+
+    group.bench_function("ib_fecn", |b| {
+        let mut d = IbFecn::new(50 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(d.on_dequeue(&ctx(i)))
+        })
+    });
+
+    group.bench_function("tcd_continuous_on", |b| {
+        let cfg = TcdConfig::new(SimDuration::from_us(30), 200_000, 5_000);
+        let mut d = TcdDetector::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(d.on_dequeue(&ctx(i)))
+        })
+    });
+
+    group.bench_function("tcd_with_red_legacy", |b| {
+        let cfg = TcdConfig::new(SimDuration::from_us(30), 200_000, 5_000);
+        let mut d = TcdDetector::with_legacy(
+            cfg,
+            LegacyScheme::Red(EcnRed::new(RedConfig::dcqcn_40g(), 7)),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(d.on_dequeue(&ctx(i)))
+        })
+    });
+
+    group.bench_function("tcd_onoff_pattern", |b| {
+        // Worst case: the port keeps cycling through pause/resume, so
+        // every dequeue takes the undetermined path.
+        let cfg = TcdConfig::new(SimDuration::from_us(30), 200_000, 5_000);
+        let mut d = TcdDetector::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if i % 16 == 0 {
+                d.on_pause(SimTime::from_ns(i * 200));
+                d.on_resume(SimTime::from_ns(i * 200 + 100));
+            }
+            black_box(d.on_dequeue(&ctx(i)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

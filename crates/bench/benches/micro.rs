@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the simulator's hot data structures: the event
+//! queue, the transmission gate, routing lookups and workload sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_netsim::event::{Event, EventQueue, TxGate};
+use lossless_netsim::packet::FlowId;
+use lossless_netsim::routing::{RouteSelect, Routing};
+use lossless_netsim::topology::{fat_tree, NodeId};
+use lossless_workloads::hadoop;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule+pop x1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(
+                    SimTime::from_ps(i * 997 % 50_000),
+                    Event::PortTx { node: NodeId(i as u32 % 64), port: 0 },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_txgate(c: &mut Criterion) {
+    c.bench_function("txgate/kick+tx cycle", |b| {
+        let mut g = TxGate::new();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            if g.on_event(now) {
+                let free = g.begin_tx(now, SimDuration::from_ns(200));
+                g.note_scheduled(free);
+                now = free;
+            }
+            black_box(g.want(now))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let ft = fat_tree(10, Rate::from_gbps(40), SimDuration::from_us(4));
+    let routing = Routing::new(&ft.topo, RouteSelect::Ecmp);
+    let agg = ft.aggs[0];
+    let dst = *ft.hosts.last().unwrap();
+    c.bench_function("routing/ecmp out_port (fat-tree k=10)", |b| {
+        let mut f = 0u32;
+        b.iter(|| {
+            f = f.wrapping_add(1);
+            black_box(routing.out_port(agg, dst, FlowId(f)))
+        })
+    });
+    c.bench_function("routing/table build (fat-tree k=10)", |b| {
+        b.iter(|| black_box(Routing::new(&ft.topo, RouteSelect::DModK)))
+    });
+}
+
+fn bench_workload_sampling(c: &mut Criterion) {
+    let cdf = hadoop();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("workload/hadoop sample", |b| {
+        b.iter(|| black_box(cdf.sample(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_txgate, bench_routing, bench_workload_sampling);
+criterion_main!(benches);

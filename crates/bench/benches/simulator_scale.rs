@@ -1,0 +1,55 @@
+//! End-to-end simulator throughput: full packet-level runs of the paper's
+//! Figure-2 scenario under both network modes, and an incast on the
+//! fat-tree. Criterion reports wall time per simulated run; divide by the
+//! event counts printed by the experiment binaries for events/second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_netsim::cchooks::FixedRate;
+use lossless_netsim::routing::RouteSelect;
+use lossless_netsim::topology::{fat_tree, figure2};
+use lossless_netsim::Simulator;
+use tcd_repro::scenarios::{default_config, Network};
+
+fn fig2_incast(network: Network, use_tcd: bool) -> u64 {
+    let fig = figure2(Default::default());
+    let cfg = default_config(network, use_tcd, SimTime::from_ms(1));
+    let mut sim = Simulator::new(fig.topo.clone(), cfg, network.routing());
+    for &a in fig.bursters.iter().take(8) {
+        sim.add_flow(a, fig.r1, 300_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    }
+    sim.run();
+    sim.trace.forwarded_pkts
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/fig2_incast_1ms");
+    group.sample_size(10);
+    group.bench_function("cee_ecn", |b| b.iter(|| black_box(fig2_incast(Network::Cee, false))));
+    group.bench_function("cee_tcd", |b| b.iter(|| black_box(fig2_incast(Network::Cee, true))));
+    group.bench_function("ib_fecn", |b| b.iter(|| black_box(fig2_incast(Network::Ib, false))));
+    group.bench_function("ib_tcd", |b| b.iter(|| black_box(fig2_incast(Network::Ib, true))));
+    group.finish();
+}
+
+fn bench_fat_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/fat_tree_k6");
+    group.sample_size(10);
+    group.bench_function("54-host all-to-one incast", |b| {
+        b.iter(|| {
+            let ft = fat_tree(6, Rate::from_gbps(40), SimDuration::from_us(4));
+            let cfg = default_config(Network::Cee, true, SimTime::from_ms(1));
+            let mut sim = Simulator::new(ft.topo.clone(), cfg, RouteSelect::Ecmp);
+            let dst = ft.hosts[0];
+            for &h in ft.hosts.iter().skip(1).take(16) {
+                sim.add_flow(h, dst, 100_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+            }
+            sim.run();
+            black_box(sim.trace.forwarded_pkts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fat_tree);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! §1 motivation — why lossless at all: the same incast on a traditional
+//! drop-tail Ethernet (with go-back-N reliability) versus the lossless
+//! fabric. Packet loss turns into retransmission timeouts and tail-latency
+//! blowup; PFC turns it into bounded pausing.
+//!
+//! This is not a numbered figure in the paper; it regenerates the premise
+//! the introduction cites (loss hurts tail FCT and throughput, hence
+//! lossless fabrics, hence hop-by-hop flow control, hence TCD).
+
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_netsim::cchooks::FixedRate;
+use lossless_netsim::config::{DetectorKind, SimConfig};
+use lossless_netsim::routing::RouteSelect;
+use lossless_netsim::topology::{figure2, Figure2Options};
+use lossless_netsim::Simulator;
+use lossless_stats::percentile;
+use tcd_bench::report::{self, f2};
+
+struct Outcome {
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    drops: u64,
+    pauses: u64,
+}
+
+fn run(lossless: bool, fanin: usize, size: u64, seed: u64) -> Outcome {
+    let f2t = figure2(Figure2Options::default());
+    let mut cfg = if lossless {
+        let mut c = SimConfig::cee_baseline(SimTime::from_ms(200));
+        c.detector = DetectorKind::None;
+        c
+    } else {
+        SimConfig::lossy_baseline(SimTime::from_ms(200), 100 * 1024)
+    };
+    cfg.seed = seed;
+    let mut sim = Simulator::new(f2t.topo.clone(), cfg, RouteSelect::Ecmp);
+    let flows: Vec<_> = f2t
+        .bursters
+        .iter()
+        .take(fanin)
+        .map(|&a| sim.add_flow(a, f2t.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .collect();
+    sim.run();
+    let fcts: Vec<f64> = flows
+        .iter()
+        .map(|f| {
+            sim.trace.flows[f.0 as usize]
+                .fct()
+                .expect("all flows must complete in both modes")
+                .as_secs_f64()
+                * 1e3
+        })
+        .collect();
+    Outcome {
+        p50_ms: percentile(&fcts, 50.0).unwrap(),
+        p99_ms: percentile(&fcts, 99.0).unwrap(),
+        max_ms: fcts.iter().fold(0.0, |a, &b| a.max(b)),
+        drops: sim.trace.drops,
+        pauses: sim.trace.pause_frames,
+    }
+}
+
+fn main() {
+    let args = report::ExpArgs::parse(1.0);
+    report::header("§1 motivation", "incast FCT: lossy Ethernet vs lossless (PFC)");
+    let size = 500 * 1024u64;
+    let mut t = report::Table::new(vec![
+        "fan-in",
+        "mode",
+        "p50 ms",
+        "p99 ms",
+        "max ms",
+        "drops",
+        "pauses",
+    ]);
+    for fanin in [2usize, 4, 8, 15] {
+        for lossless in [false, true] {
+            let o = run(lossless, fanin, size, args.seed);
+            t.row(vec![
+                fanin.to_string(),
+                if lossless { "lossless" } else { "lossy" }.to_string(),
+                f2(o.p50_ms),
+                f2(o.p99_ms),
+                f2(o.max_ms),
+                o.drops.to_string(),
+                o.pauses.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    let ideal_ms = Rate::from_gbps(40).serialize_time(size).as_secs_f64() * 1e3;
+    println!(
+        "(per-flow ideal at full line rate: {ideal_ms:.2} ms; lossless tails track fan-in x ideal,\n lossy tails pay {} RTO per recovery round)",
+        SimDuration::from_us(500)
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 15 — FCT performance for victim flows under DCQCN ± TCD
+//! (§5.2.1).
+//!
+//! (a) Average FCT breakdown by flow size in the victim scenario: DCQCN
+//!     with TCD completes victim flows faster because victims are never
+//!     mistakenly throttled, and congested flows back off harder, reducing
+//!     congestion spreading.
+//! (b) Varying the concurrent burst size: as bursts grow, more victims are
+//!     marked undetermined; DCQCN+TCD's advantage is largest when
+//!     congestion is caused by interference of small flows.
+
+use lossless_flowctl::SimDuration;
+use lossless_stats::{mean, SizeBuckets};
+use tcd_bench::report::{self, f2, pct};
+use tcd_bench::scenarios::victim::{run, Options};
+use tcd_bench::scenarios::{Cc, CcAlgo, Network};
+
+fn victim_opts(tcd: bool, burst_bytes: u64, seed: u64) -> Options {
+    Options {
+        network: Network::Cee,
+        use_tcd: tcd,
+        cc: Some(Cc { algo: CcAlgo::Dcqcn, tcd }),
+        burst_bytes,
+        burst_gap: SimDuration::from_us(450),
+        load: 0.5,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = report::ExpArgs::parse(1.0);
+
+    // (a) FCT breakdown by size, 100 KB bursts.
+    report::header("Fig. 15a", "victim FCT breakdown (DCQCN vs DCQCN+TCD)");
+    let buckets = SizeBuckets::hadoop_buckets();
+    // Base one-way latency of the victim path S0 -> R0 (5 hops).
+    let base = SimDuration::from_us(4) * 5 + SimDuration::from_us(2);
+    let runs: Vec<(&str, _)> = vec![
+        ("dcqcn", run(victim_opts(false, 100 * 1024, args.seed))),
+        ("dcqcn+tcd", run(victim_opts(true, 100 * 1024, args.seed))),
+    ];
+    let mut t = report::Table::new(vec!["size bucket", "dcqcn avg slowdown", "dcqcn+tcd avg slowdown"]);
+    let groups: Vec<Vec<Vec<f64>>> = runs
+        .iter()
+        .map(|(_, r)| buckets.group(&r.victim_slowdowns(base)))
+        .collect();
+    for b in 0..buckets.len() {
+        let cells: Vec<String> = groups
+            .iter()
+            .map(|g| mean(&g[b]).map(f2).unwrap_or_else(|| "-".into()))
+            .collect();
+        t.row(vec![buckets.label(b).to_string(), cells[0].clone(), cells[1].clone()]);
+    }
+    t.print();
+    for (name, r) in &runs {
+        println!(
+            "{name}: mean victim FCT {:.1} us over {} completed victims",
+            r.victim_mean_fct().unwrap_or(0.0) * 1e6,
+            r.victims.iter().filter(|f| r.sim.trace.flows[f.0 as usize].end.is_some()).count()
+        );
+    }
+
+    // (b) Varying burst size.
+    report::header("Fig. 15b", "victim avg FCT and UE fraction vs burst size");
+    let mut t = report::Table::new(vec![
+        "burst KB",
+        "dcqcn FCT us",
+        "dcqcn+tcd FCT us",
+        "speedup",
+        "UE-flagged victims",
+    ]);
+    for kb in [32u64, 64, 100, 150, 250] {
+        let plain = run(victim_opts(false, kb * 1024, args.seed));
+        let tcd = run(victim_opts(true, kb * 1024, args.seed));
+        let f_plain = plain.victim_mean_fct().unwrap_or(0.0) * 1e6;
+        let f_tcd = tcd.victim_mean_fct().unwrap_or(0.0) * 1e6;
+        t.row(vec![
+            kb.to_string(),
+            format!("{f_plain:.1}"),
+            format!("{f_tcd:.1}"),
+            format!("{:.2}x", if f_tcd > 0.0 { f_plain / f_tcd } else { 0.0 }),
+            pct(tcd.victim_ue_fraction()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,108 @@
+//! Figure 16 — overall FCT slowdown under realistic workloads, DCQCN ±
+//! TCD (§5.2.1).
+//!
+//! Fat-tree k = 10 (250 hosts), 40 Gbps links, 4 µs delay, 60% average
+//! load, Hadoop and WebSearch flow-size distributions. The paper runs 40k
+//! flows; the default here is scaled down (`--full` restores the paper's
+//! size). Reported: median/95th/99th-percentile FCT slowdown overall and
+//! per size bucket, plus the paper's headline ratios.
+//!
+//! Expected shape: DCQCN+TCD wins, most strongly for small flows; the
+//! paper quotes 3.3× median and 2.0× p99 improvements (Hadoop, small
+//! flows: median 10.8 → 3.6).
+
+use lossless_flowctl::SimTime;
+use lossless_stats::SlowdownSummary;
+use tcd_bench::report::{self, f2};
+use tcd_bench::scenarios::workload::{run, Options, Workload};
+use tcd_bench::scenarios::{Cc, CcAlgo, Network};
+
+fn main() {
+    let args = report::ExpArgs::parse(0.05);
+    let flows = args.scaled(40_000, 500);
+    for (wl, incast) in [
+        (Workload::Hadoop, 0.0),
+        (Workload::WebSearch, 0.0),
+        // Supplementary: the pause-heavy regime of production fabrics,
+        // where a slice of the flow budget arrives as synchronized
+        // partition-aggregate incasts (the paper's §3 motivation traffic).
+        (Workload::Hadoop, 0.08),
+    ] {
+        let name = match wl {
+            Workload::Hadoop => "Hadoop",
+            Workload::WebSearch => "WebSearch",
+        };
+        let tag = if incast > 0.0 {
+            format!("{name} + {:.0}% incast jobs (supplementary)", incast * 100.0)
+        } else {
+            name.to_string()
+        };
+        report::header("Fig. 16", &format!("{tag}, {flows} flows, fat-tree k=10, 60% load"));
+
+        let mut results = Vec::new();
+        for tcd in [false, true] {
+            let r = run(Options {
+                network: Network::Cee,
+                cc: Cc { algo: CcAlgo::Dcqcn, tcd },
+                use_tcd: tcd,
+                k: 10,
+                workload: wl,
+                load: 0.6,
+                flows,
+                incast_fraction: incast,
+                incast_fanin: 12,
+                seed: args.seed,
+                deadline: SimTime::from_ms(2_000),
+            });
+            results.push((if tcd { "dcqcn+tcd" } else { "dcqcn" }, r));
+        }
+
+        let buckets = wl.buckets();
+        let mut t = report::Table::new(vec![
+            "bucket", "scheme", "n", "p50", "p95", "p99", "mean",
+        ]);
+        for (name, r) in &results {
+            if let Some(s) = r.summary() {
+                t.row(vec![
+                    "ALL".into(),
+                    name.to_string(),
+                    s.count.to_string(),
+                    f2(s.p50),
+                    f2(s.p95),
+                    f2(s.p99),
+                    f2(s.mean),
+                ]);
+            }
+        }
+        for b in 0..buckets.len() {
+            for (name, r) in &results {
+                let sums = r.bucket_summaries(&buckets);
+                if let Some(s) = &sums[b] {
+                    t.row(vec![
+                        buckets.label(b).to_string(),
+                        name.to_string(),
+                        s.count.to_string(),
+                        f2(s.p50),
+                        f2(s.p95),
+                        f2(s.p99),
+                        f2(s.mean),
+                    ]);
+                }
+            }
+        }
+        t.print();
+
+        let all: Vec<Option<SlowdownSummary>> = results.iter().map(|(_, r)| r.summary()).collect();
+        if let (Some(a), Some(b)) = (&all[0], &all[1]) {
+            println!(
+                "improvement: median {:.2}x, p99 {:.2}x (paper headline: 3.3x median, 2.0x p99)",
+                a.p50 / b.p50,
+                a.p99 / b.p99
+            );
+        }
+        for (name, r) in &results {
+            println!("{name}: completion rate {:.1}%", r.completion_rate * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 18 — FCT performance for victim flows under TIMELY ± TCD
+//! (§5.2.3).
+//!
+//! TIMELY cannot distinguish RTT inflation caused by congestion from
+//! inflation caused by PAUSE frames, so it throttles victims. With TCD,
+//! senders hold their rate when the RTT gradient is positive but the
+//! packets only carry UE. The paper reports 2.2× / 2.3× better average FCT
+//! for small (<10 KB) and large (>1 MB) victim flows, and a growing
+//! UE-flagged fraction as the burst size grows.
+
+use lossless_flowctl::SimDuration;
+use lossless_stats::{mean, SizeBuckets};
+use tcd_bench::report::{self, f2, pct};
+use tcd_bench::scenarios::victim::{run, Options};
+use tcd_bench::scenarios::{Cc, CcAlgo, Network};
+
+fn victim_opts(tcd: bool, burst_bytes: u64, seed: u64) -> Options {
+    Options {
+        network: Network::Cee,
+        use_tcd: tcd,
+        cc: Some(Cc { algo: CcAlgo::Timely, tcd }),
+        burst_bytes,
+        burst_gap: SimDuration::from_us(450),
+        load: 0.5,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = report::ExpArgs::parse(1.0);
+
+    report::header("Fig. 18a", "victim FCT breakdown (TIMELY vs TIMELY+TCD)");
+    let buckets = SizeBuckets::hadoop_buckets();
+    let base = SimDuration::from_us(4) * 5 + SimDuration::from_us(2);
+    let runs: Vec<(&str, _)> = vec![
+        ("timely", run(victim_opts(false, 100 * 1024, args.seed))),
+        ("timely+tcd", run(victim_opts(true, 100 * 1024, args.seed))),
+    ];
+    let mut t =
+        report::Table::new(vec!["size bucket", "timely avg slowdown", "timely+tcd avg slowdown"]);
+    let groups: Vec<Vec<Vec<f64>>> =
+        runs.iter().map(|(_, r)| buckets.group(&r.victim_slowdowns(base))).collect();
+    #[allow(clippy::needless_range_loop)] // b indexes label and both groups
+    for b in 0..buckets.len() {
+        let row = vec![
+            buckets.label(b).to_string(),
+            mean(&groups[0][b]).map(f2).unwrap_or_else(|| "-".into()),
+            mean(&groups[1][b]).map(f2).unwrap_or_else(|| "-".into()),
+        ];
+        t.row(row);
+    }
+    t.print();
+    for (name, r) in &runs {
+        println!(
+            "{name}: mean victim FCT {:.1} us",
+            r.victim_mean_fct().unwrap_or(0.0) * 1e6
+        );
+    }
+
+    report::header("Fig. 18b", "victim avg FCT and UE fraction vs burst size");
+    let mut t = report::Table::new(vec![
+        "burst KB",
+        "timely FCT us",
+        "timely+tcd FCT us",
+        "speedup",
+        "UE-flagged victims",
+    ]);
+    for kb in [32u64, 64, 100, 150, 250] {
+        let plain = run(victim_opts(false, kb * 1024, args.seed));
+        let tcd = run(victim_opts(true, kb * 1024, args.seed));
+        let f_plain = plain.victim_mean_fct().unwrap_or(0.0) * 1e6;
+        let f_tcd = tcd.victim_mean_fct().unwrap_or(0.0) * 1e6;
+        t.row(vec![
+            kb.to_string(),
+            format!("{f_plain:.1}"),
+            format!("{f_tcd:.1}"),
+            format!("{:.2}x", if f_tcd > 0.0 { f_plain / f_tcd } else { 0.0 }),
+            pct(tcd.victim_ue_fraction()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,79 @@
+//! Figure 19 — overall FCT slowdown under realistic workloads, TIMELY ±
+//! TCD (§5.2.3). Same network settings as Fig. 16.
+//!
+//! Expected shape: TIMELY with TCD improves median and tail slowdowns,
+//! especially for small and medium flows (the paper quotes Hadoop <50 KB
+//! p99 going from 50.3 to 36.6).
+
+use lossless_flowctl::SimTime;
+use tcd_bench::report::{self, f2};
+use tcd_bench::scenarios::workload::{run, Options, Workload};
+use tcd_bench::scenarios::{Cc, CcAlgo, Network};
+
+fn main() {
+    let args = report::ExpArgs::parse(0.05);
+    let flows = args.scaled(40_000, 500);
+    for wl in [Workload::Hadoop, Workload::WebSearch] {
+        let name = match wl {
+            Workload::Hadoop => "Hadoop",
+            Workload::WebSearch => "WebSearch",
+        };
+        report::header("Fig. 19", &format!("{name} workload, {flows} flows (TIMELY ± TCD)"));
+
+        let mut results = Vec::new();
+        for tcd in [false, true] {
+            let r = run(Options {
+                network: Network::Cee,
+                cc: Cc { algo: CcAlgo::Timely, tcd },
+                use_tcd: tcd,
+                k: 10,
+                workload: wl,
+                load: 0.6,
+                flows,
+                incast_fraction: 0.04,
+                incast_fanin: 12,
+                seed: args.seed,
+                deadline: SimTime::from_ms(2_000),
+            });
+            results.push((if tcd { "timely+tcd" } else { "timely" }, r));
+        }
+
+        let buckets = wl.buckets();
+        let mut t = report::Table::new(vec!["bucket", "scheme", "n", "p50", "p95", "p99"]);
+        for (name, r) in &results {
+            if let Some(s) = r.summary() {
+                t.row(vec![
+                    "ALL".into(),
+                    name.to_string(),
+                    s.count.to_string(),
+                    f2(s.p50),
+                    f2(s.p95),
+                    f2(s.p99),
+                ]);
+            }
+        }
+        for b in 0..buckets.len() {
+            for (name, r) in &results {
+                let sums = r.bucket_summaries(&buckets);
+                if let Some(s) = &sums[b] {
+                    t.row(vec![
+                        buckets.label(b).to_string(),
+                        name.to_string(),
+                        s.count.to_string(),
+                        f2(s.p50),
+                        f2(s.p95),
+                        f2(s.p99),
+                    ]);
+                }
+            }
+        }
+        t.print();
+        if let (Some(a), Some(b)) = (results[0].1.summary(), results[1].1.summary()) {
+            println!(
+                "improvement: median {:.2}x, p99 {:.2}x\n",
+                a.p50 / b.p50,
+                a.p99 / b.p99
+            );
+        }
+    }
+}

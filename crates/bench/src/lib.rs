@@ -1,0 +1,105 @@
+//! Shared helpers for the per-figure experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of
+//! *"Congestion Detection in Lossless Networks"* (SIGCOMM 2021); see
+//! DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results. All binaries accept `--scale <f>`,
+//! `--seed <n>` and `--full`.
+
+pub use tcd_repro::report;
+pub use tcd_repro::scenarios;
+
+use lossless_flowctl::SimTime;
+use lossless_netsim::trace::PortSample;
+use lossless_netsim::Simulator;
+use lossless_netsim::{NodeId, TernaryState};
+use lossless_stats::timeseries::{downsample, rate_series, RatePoint};
+
+/// Extract `(t, queue_bytes)` for one sampled egress.
+pub fn queue_series(sim: &Simulator, node: NodeId, port: u16, prio: u8) -> Vec<(SimTime, u64)> {
+    sim.trace
+        .port_samples
+        .iter()
+        .filter(|s| s.node == node && s.port == port && s.prio == prio)
+        .map(|s| (s.t, s.queue_bytes))
+        .collect()
+}
+
+/// Extract the sending-rate series (Gbps per sample interval) for one
+/// sampled egress.
+pub fn port_rate_series(sim: &Simulator, node: NodeId, port: u16, prio: u8) -> Vec<RatePoint> {
+    let cum: Vec<(SimTime, u64)> = sim
+        .trace
+        .port_samples
+        .iter()
+        .filter(|s| s.node == node && s.port == port && s.prio == prio)
+        .map(|s| (s.t, s.tx_bytes))
+        .collect();
+    rate_series(&cum)
+}
+
+/// Extract the detector-state series for one sampled egress.
+pub fn state_series(
+    sim: &Simulator,
+    node: NodeId,
+    port: u16,
+    prio: u8,
+) -> Vec<(SimTime, TernaryState)> {
+    sim.trace
+        .port_samples
+        .iter()
+        .filter(|s| s.node == node && s.port == port && s.prio == prio)
+        .map(|s| (s.t, s.state))
+        .collect()
+}
+
+/// Print a queue/rate/state trace of one port as a compact table of at
+/// most `rows` rows.
+pub fn print_port_trace(
+    sim: &Simulator,
+    label: &str,
+    node: NodeId,
+    port: u16,
+    prio: u8,
+    rows: usize,
+) {
+    let samples: Vec<&PortSample> = sim
+        .trace
+        .port_samples
+        .iter()
+        .filter(|s| s.node == node && s.port == port && s.prio == prio)
+        .collect();
+    if samples.is_empty() {
+        println!("-- {label}: no samples --");
+        return;
+    }
+    let rates = port_rate_series(sim, node, port, prio);
+    let mut t = report::Table::new(vec!["t_ms", "queue_KB", "rate_Gbps", "state", "paused"]);
+    let idxs: Vec<usize> = (0..samples.len()).collect();
+    for &i in downsample(&idxs, rows.max(2)).iter() {
+        let s = samples[i];
+        let rate = if i == 0 { 0.0 } else { rates[i - 1].gbps };
+        t.row(vec![
+            format!("{:.3}", s.t.as_ms_f64()),
+            format!("{:.1}", s.queue_bytes as f64 / 1024.0),
+            format!("{rate:.2}"),
+            s.state.symbol().to_string(),
+            if s.paused { "*" } else { "" }.to_string(),
+        ]);
+    }
+    println!("-- {label} --");
+    t.print();
+}
+
+/// Peak queue length (bytes) seen in the samples of one egress.
+pub fn peak_queue(sim: &Simulator, node: NodeId, port: u16, prio: u8) -> u64 {
+    queue_series(sim, node, port, prio).iter().map(|&(_, q)| q).max().unwrap_or(0)
+}
+
+/// Whether an egress was ever observed paused/credit-blocked.
+pub fn ever_paused(sim: &Simulator, node: NodeId, port: u16, prio: u8) -> bool {
+    sim.trace
+        .port_samples
+        .iter()
+        .any(|s| s.node == node && s.port == port && s.prio == prio && s.paused)
+}

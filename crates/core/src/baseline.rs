@@ -1,0 +1,323 @@
+//! The binary congestion detectors TCD is compared against (paper §2.1):
+//!
+//! * [`EcnRed`] — DCQCN's congestion point: RED/ECN marking on dequeue
+//!   based on the instantaneous egress queue length. §3.1.2 shows why this
+//!   is inadequate in CEE: it cannot distinguish queue buildup caused by
+//!   congestion from buildup caused by PAUSE frames.
+//! * [`IbFecn`] — the InfiniBand congestion-control rule: mark FECN when
+//!   the output queue exceeds a threshold *and* the packet was not delayed
+//!   for lack of credits (the "root", not the "victim"). §3.1.2 shows why
+//!   the periodicity of CBFC credits still confuses it: packets arriving
+//!   just after a fresh FCCL appear un-delayed and get marked on victim
+//!   ports.
+//!
+//! Both implement [`CongestionDetector`], so the switch model can run TCD
+//! and a baseline through the identical code path. Both mark with
+//! [`CodePoint::CE`] — they have no notion of UE.
+
+use crate::detector::{CongestionDetector, DequeueContext};
+use crate::marking::CodePoint;
+use crate::state::TernaryState;
+use lossless_flowctl::{OnOffTracker, SimTime};
+
+/// RED marking parameters (queue lengths in bytes).
+///
+/// DCQCN's recommended setting at 40 Gbps is `K_min = 5 KB`,
+/// `K_max = 200 KB`, `P_max = 1 %`; the paper's §3 observation scenarios
+/// describe the effective behaviour as deterministic marking above 200 KB.
+#[derive(Debug, Clone, Copy)]
+pub struct RedConfig {
+    /// Below this queue length, never mark.
+    pub kmin_bytes: u64,
+    /// At or above this queue length, always mark.
+    pub kmax_bytes: u64,
+    /// Marking probability reached just below `kmax`.
+    pub pmax: f64,
+}
+
+impl RedConfig {
+    /// DCQCN's recommended 40 Gbps parameters.
+    pub fn dcqcn_40g() -> Self {
+        RedConfig { kmin_bytes: 5 * 1024, kmax_bytes: 200 * 1024, pmax: 0.01 }
+    }
+
+    /// Deterministic threshold marking at `k` bytes (the §3 description:
+    /// "if the current egress queue length exceeds a threshold Kmax
+    /// (i.e., 200KB), the packet is marked with ECN").
+    pub fn threshold(k_bytes: u64) -> Self {
+        RedConfig { kmin_bytes: k_bytes, kmax_bytes: k_bytes, pmax: 1.0 }
+    }
+}
+
+/// A small deterministic xorshift64* PRNG for RED's marking coin. Keeping
+/// the generator inside the detector makes simulations reproducible without
+/// threading a global RNG through the switch.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let v = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // 53 high bits -> [0, 1).
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// RED/ECN dequeue marking — DCQCN's congestion point (CP).
+#[derive(Debug, Clone)]
+pub struct EcnRed {
+    cfg: RedConfig,
+    rng: XorShift64,
+    onoff: OnOffTracker,
+    last_queue: u64,
+    marks: u64,
+}
+
+impl EcnRed {
+    /// New RED marker; `seed` makes the marking coin reproducible.
+    pub fn new(cfg: RedConfig, seed: u64) -> Self {
+        assert!(cfg.kmin_bytes <= cfg.kmax_bytes, "K_min must not exceed K_max");
+        assert!((0.0..=1.0).contains(&cfg.pmax), "P_max must be a probability");
+        EcnRed { cfg, rng: XorShift64::new(seed), onoff: OnOffTracker::new(), last_queue: 0, marks: 0 }
+    }
+
+    /// Packets marked so far.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+}
+
+impl CongestionDetector for EcnRed {
+    fn on_dequeue(&mut self, ctx: &DequeueContext) -> Option<CodePoint> {
+        self.last_queue = ctx.queue_bytes;
+        let q = ctx.queue_bytes;
+        let mark = if q < self.cfg.kmin_bytes {
+            false
+        } else if q >= self.cfg.kmax_bytes {
+            true
+        } else {
+            let span = (self.cfg.kmax_bytes - self.cfg.kmin_bytes) as f64;
+            let p = self.cfg.pmax * (q - self.cfg.kmin_bytes) as f64 / span;
+            self.rng.next_f64() < p
+        };
+        if mark {
+            self.marks += 1;
+            Some(CodePoint::CE)
+        } else {
+            None
+        }
+    }
+
+    fn on_pause(&mut self, now: SimTime) {
+        // ECN ignores flow control entirely — that is its flaw. The tracker
+        // is kept only so traces can show the ON-OFF pattern it ignores.
+        self.onoff.pause(now);
+    }
+
+    fn on_resume(&mut self, now: SimTime) {
+        self.onoff.resume(now);
+    }
+
+    fn port_state(&self) -> TernaryState {
+        if self.last_queue >= self.cfg.kmax_bytes {
+            TernaryState::Congestion
+        } else {
+            TernaryState::NonCongestion
+        }
+    }
+}
+
+/// The InfiniBand congestion-control FECN rule (IB spec annex A10; paper
+/// §2.1): a port is the *root* of congestion — and marks FECN — when its
+/// output queue exceeds a threshold and packets are **not** delayed for lack
+/// of credits. A port whose packets are credit-delayed is a *victim* and
+/// does not mark.
+#[derive(Debug, Clone)]
+pub struct IbFecn {
+    threshold_bytes: u64,
+    onoff: OnOffTracker,
+    last_queue: u64,
+    marks: u64,
+    victim_suppressions: u64,
+}
+
+impl IbFecn {
+    /// New FECN marker. The paper's scenarios use a 50 KB threshold.
+    pub fn new(threshold_bytes: u64) -> Self {
+        IbFecn {
+            threshold_bytes,
+            onoff: OnOffTracker::new(),
+            last_queue: 0,
+            marks: 0,
+            victim_suppressions: 0,
+        }
+    }
+
+    /// Packets marked so far.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+
+    /// Times the victim rule suppressed a mark.
+    pub fn victim_suppressions(&self) -> u64 {
+        self.victim_suppressions
+    }
+}
+
+impl CongestionDetector for IbFecn {
+    fn on_dequeue(&mut self, ctx: &DequeueContext) -> Option<CodePoint> {
+        self.last_queue = ctx.queue_bytes;
+        if ctx.queue_bytes > self.threshold_bytes {
+            if ctx.delayed_by_fc {
+                // Victim: queue over threshold but the packet waited for
+                // credits.
+                self.victim_suppressions += 1;
+                None
+            } else {
+                self.marks += 1;
+                Some(CodePoint::CE)
+            }
+        } else {
+            None
+        }
+    }
+
+    fn on_pause(&mut self, now: SimTime) {
+        self.onoff.pause(now);
+    }
+
+    fn on_resume(&mut self, now: SimTime) {
+        self.onoff.resume(now);
+    }
+
+    fn port_state(&self) -> TernaryState {
+        if self.last_queue > self.threshold_bytes {
+            TernaryState::Congestion
+        } else {
+            TernaryState::NonCongestion
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossless_flowctl::SimTime;
+
+    fn ctx(q: u64, delayed: bool) -> DequeueContext {
+        DequeueContext { now: SimTime::from_us(1), queue_bytes: q, delayed_by_fc: delayed }
+    }
+
+    #[test]
+    fn red_never_marks_below_kmin() {
+        let mut red = EcnRed::new(RedConfig::dcqcn_40g(), 7);
+        for _ in 0..1000 {
+            assert_eq!(red.on_dequeue(&ctx(4 * 1024, false)), None);
+        }
+        assert_eq!(red.marks(), 0);
+    }
+
+    #[test]
+    fn red_always_marks_at_kmax() {
+        let mut red = EcnRed::new(RedConfig::dcqcn_40g(), 7);
+        for _ in 0..100 {
+            assert_eq!(red.on_dequeue(&ctx(200 * 1024, false)), Some(CodePoint::CE));
+        }
+        assert_eq!(red.marks(), 100);
+    }
+
+    #[test]
+    fn red_marks_proportionally_between_thresholds() {
+        let mut red = EcnRed::new(
+            RedConfig { kmin_bytes: 0, kmax_bytes: 100_000, pmax: 1.0 },
+            42,
+        );
+        let mut marks = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if red.on_dequeue(&ctx(50_000, false)).is_some() {
+                marks += 1;
+            }
+        }
+        let frac = marks as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "expected ~0.5, got {frac}");
+    }
+
+    #[test]
+    fn red_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut red = EcnRed::new(RedConfig::dcqcn_40g(), seed);
+            (0..500)
+                .map(|_| red.on_dequeue(&ctx(100 * 1024, false)).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn red_ignores_pause_state_by_design() {
+        // This is the §3.1.2 flaw: a paused-induced queue still marks.
+        let mut red = EcnRed::new(RedConfig::threshold(200 * 1024), 1);
+        red.on_pause(SimTime::from_us(0));
+        red.on_resume(SimTime::from_us(5));
+        assert_eq!(red.on_dequeue(&ctx(300 * 1024, false)), Some(CodePoint::CE));
+    }
+
+    #[test]
+    fn threshold_config_is_deterministic() {
+        let mut red = EcnRed::new(RedConfig::threshold(200 * 1024), 1);
+        assert_eq!(red.on_dequeue(&ctx(200 * 1024 - 1, false)), None);
+        assert_eq!(red.on_dequeue(&ctx(200 * 1024, false)), Some(CodePoint::CE));
+    }
+
+    #[test]
+    fn fecn_root_marks_victim_does_not() {
+        let mut f = IbFecn::new(50_000);
+        assert_eq!(f.on_dequeue(&ctx(60_000, false)), Some(CodePoint::CE));
+        assert_eq!(f.on_dequeue(&ctx(60_000, true)), None);
+        assert_eq!(f.on_dequeue(&ctx(40_000, false)), None);
+        assert_eq!(f.marks(), 1);
+        assert_eq!(f.victim_suppressions(), 1);
+    }
+
+    #[test]
+    fn fecn_periodic_credit_confusion() {
+        // A victim port out of credits: the queued packet is delayed (no
+        // mark) but the packet right after a credit refresh is not delayed
+        // and is improperly marked — the §3.1.2 InfiniBand observation.
+        let mut f = IbFecn::new(50_000);
+        assert_eq!(f.on_dequeue(&ctx(80_000, true)), None);
+        assert_eq!(f.on_dequeue(&ctx(80_000, false)), Some(CodePoint::CE));
+    }
+
+    #[test]
+    fn baseline_port_state_is_binary() {
+        let mut red = EcnRed::new(RedConfig::threshold(100), 1);
+        let _ = red.on_dequeue(&ctx(50, false));
+        assert_eq!(red.port_state(), TernaryState::NonCongestion);
+        let _ = red.on_dequeue(&ctx(150, false));
+        assert_eq!(red.port_state(), TernaryState::Congestion);
+
+        let mut f = IbFecn::new(100);
+        let _ = f.on_dequeue(&ctx(150, true));
+        assert_eq!(f.port_state(), TernaryState::Congestion);
+    }
+
+    #[test]
+    #[should_panic]
+    fn red_rejects_invalid_pmax() {
+        let _ = EcnRed::new(RedConfig { kmin_bytes: 0, kmax_bytes: 1, pmax: 1.5 }, 1);
+    }
+}

@@ -1,0 +1,707 @@
+//! The TCD detector: the paper's Fig. 9 flowchart as an explicit state
+//! machine, plus the [`CongestionDetector`] trait that lets TCD and the
+//! binary baselines plug into the same switch model.
+//!
+//! Inputs the switch must provide:
+//!
+//! * [`CongestionDetector::on_dequeue`] whenever a data packet leaves the
+//!   egress queue — the hot path; returns the code point to apply (if any).
+//! * [`CongestionDetector::on_pause`] / [`CongestionDetector::on_resume`] when hop-by-hop flow
+//!   control stops / restarts the port (PAUSE/RESUME under PFC; credits
+//!   exhausted/replenished under CBFC).
+//! * A timer: TCD samples the queue every period `T` to read the queue-length
+//!   *trend* after the port is released from the undetermined state. The
+//!   switch asks [`timer_deadline`](CongestionDetector::timer_deadline) and
+//!   calls [`on_timer`](CongestionDetector::on_timer) when it expires.
+//!
+//! The per-dequeue work is a timestamp subtraction, one comparison against
+//! the pre-configured `max(T_on)` and a `LAST_STATE` lookup — O(1), as the
+//! paper argues for hardware feasibility (§4.5).
+
+use crate::baseline::{EcnRed, IbFecn};
+use crate::marking::CodePoint;
+use crate::state::TernaryState;
+use lossless_flowctl::{OnOffTracker, SimDuration, SimTime};
+
+/// Everything a detector may look at when a data packet dequeues.
+#[derive(Debug, Clone, Copy)]
+pub struct DequeueContext {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Egress queue length in bytes (including the departing packet).
+    pub queue_bytes: u64,
+    /// Whether this packet was delayed at the head of the queue because the
+    /// port lacked credits (meaningful under CBFC only; always `false` under
+    /// PFC). The IB CC FECN rule needs it to separate "root" from "victim".
+    pub delayed_by_fc: bool,
+}
+
+/// A congestion detector attached to one egress (port, priority/VL) pair.
+pub trait CongestionDetector {
+    /// A data packet is dequeuing; decide how to mark it.
+    fn on_dequeue(&mut self, ctx: &DequeueContext) -> Option<CodePoint>;
+
+    /// Hop-by-hop flow control stopped the port (OFF begins).
+    fn on_pause(&mut self, now: SimTime);
+
+    /// Hop-by-hop flow control released the port (OFF ends).
+    fn on_resume(&mut self, now: SimTime);
+
+    /// When the detector next needs [`on_timer`](Self::on_timer) called,
+    /// if ever.
+    fn timer_deadline(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Periodic queue sample (only called if
+    /// [`timer_deadline`](Self::timer_deadline) returned a time).
+    /// `backpressured` reports whether the switch is currently blocking
+    /// (pausing / withholding credits from) an upstream that feeds this
+    /// egress — the switch-local "am I the one restraining my inputs"
+    /// signal that distinguishes a covered congestion root from an
+    /// innocent port whose standing queue merely cannot drain.
+    fn on_timer(&mut self, _now: SimTime, _queue_bytes: u64, _backpressured: bool) {}
+
+    /// The port state this detector currently believes, for tracing.
+    /// Binary detectors report `NonCongestion`/`Congestion` only.
+    fn port_state(&self) -> TernaryState;
+}
+
+/// Configuration of a [`TcdDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct TcdConfig {
+    /// The `max(T_on)` bound separating the ON-OFF pattern from the
+    /// continuous-ON pattern. Compute with [`crate::model`] (Eq. 3 for PFC,
+    /// `T_c` for CBFC).
+    pub max_ton: SimDuration,
+    /// Queue sampling period `T` for the trend check after release from the
+    /// undetermined state. The paper recommends `T = max(T_on)` (§4.3/§4.4).
+    pub check_period: SimDuration,
+    /// Queue length above which a continuously-ON port is congested
+    /// (transition ①, and the "increases and exceeds the threshold" arm of
+    /// transition ⑤).
+    pub queue_high_bytes: u64,
+    /// Queue length at or below which the port returns to non-congestion
+    /// (transition ②, and the "decreased to a low threshold" arm of
+    /// transition ④).
+    pub queue_low_bytes: u64,
+    /// Consecutive growing check periods required before declaring the
+    /// undetermined → congestion transition ⑤. The paper's flowchart uses
+    /// a single period (the default); when `max(T_on)` — and hence `T` —
+    /// is very short (InfiniBand, where it equals the credit update period
+    /// `T_c`), a single period can be fooled by the transient input wave
+    /// of upstream ports draining their backlog at line rate after the
+    /// congestion tree collapses, so a small debounce (2–3) is used there.
+    /// Documented as a deviation in DESIGN.md.
+    pub confirm_periods: u32,
+    /// Paper-literal trend classification: classify at every timer tick
+    /// using the raw queue comparison, without requiring the sampling
+    /// window to be free of OFF periods and without the back-pressure
+    /// gate. This reproduces the ε-sensitivity the paper reports in
+    /// Fig. 14 (too-small `max(T_on)` misclassifies OFF-era queue growth
+    /// as congestion); the hardened default avoids it. Kept for the
+    /// ablation benchmarks.
+    pub paper_literal: bool,
+    /// Adaptive `max(T_on)` — the alternative design the paper discusses
+    /// (§6): predict the bound from observed ON periods instead of
+    /// pre-configuring it. `None` (the paper's recommendation) uses the
+    /// static bound.
+    pub adaptive: Option<AdaptiveMaxTon>,
+    /// Tolerance for the "queue did not decrease" trend comparison, in
+    /// bytes. Queues are measured at packet granularity, so a saturated
+    /// port wobbles by ±1 MTU between samples; without slack those dips
+    /// reset the ⑤ confirmation streak and a covered root at buffer
+    /// saturation is never classified. Genuine draining moves by far more
+    /// than this per period. Default: 2 MTU.
+    pub trend_slack_bytes: u64,
+}
+
+/// Parameters of the adaptive `max(T_on)` estimator (§6 alternative).
+/// The estimate is an EWMA of completed ON-period durations, scaled by a
+/// safety multiplier and clamped to `[floor, ceil]`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveMaxTon {
+    /// Weight of each new observed ON period (e.g. 0.25).
+    pub ewma_weight: f64,
+    /// Safety factor over the estimate (e.g. 2.0).
+    pub multiplier: f64,
+    /// Lower clamp for the adapted bound.
+    pub floor: SimDuration,
+    /// Upper clamp for the adapted bound.
+    pub ceil: SimDuration,
+}
+
+impl AdaptiveMaxTon {
+    /// A reasonable default: ×2 safety over a 0.25-weight EWMA, clamped
+    /// between 5 µs and 4× the static bound supplied by the caller.
+    pub fn default_for(static_bound: SimDuration) -> AdaptiveMaxTon {
+        AdaptiveMaxTon {
+            ewma_weight: 0.25,
+            multiplier: 2.0,
+            floor: SimDuration::from_us(5),
+            ceil: SimDuration::from_ps(static_bound.as_ps().saturating_mul(4)),
+        }
+    }
+}
+
+impl TcdConfig {
+    /// Config with the recommended `T = max(T_on)` coupling and the
+    /// paper-literal single-period trend confirmation.
+    pub fn new(max_ton: SimDuration, queue_high_bytes: u64, queue_low_bytes: u64) -> Self {
+        assert!(queue_low_bytes < queue_high_bytes, "low threshold must be below high");
+        assert!(max_ton > SimDuration::ZERO, "max(T_on) must be positive");
+        TcdConfig {
+            max_ton,
+            check_period: max_ton,
+            queue_high_bytes,
+            queue_low_bytes,
+            confirm_periods: 1,
+            paper_literal: false,
+            adaptive: None,
+            trend_slack_bytes: 2000,
+        }
+    }
+
+    /// Paper-literal classification (see
+    /// [`paper_literal`](TcdConfig::paper_literal)).
+    pub fn literal(mut self) -> Self {
+        self.paper_literal = true;
+        self
+    }
+
+    /// Enable the adaptive `max(T_on)` estimator (§6 alternative design).
+    pub fn adaptive(mut self, a: AdaptiveMaxTon) -> Self {
+        self.adaptive = Some(a);
+        self
+    }
+
+    /// Same, with an explicit ⑤-transition debounce.
+    pub fn with_confirm(mut self, periods: u32) -> Self {
+        assert!(periods >= 1);
+        self.confirm_periods = periods;
+        self
+    }
+}
+
+/// The marking scheme TCD defers to while the port is in a determined
+/// state (Fig. 9: "If LAST_STATE is a non-congestion or congestion state,
+/// the switch detects congestion according to queue size, which is the
+/// same as in the lossy network").
+#[derive(Debug, Clone)]
+pub enum LegacyScheme {
+    /// Mark CE exactly while the detector believes the port is congested
+    /// (pure threshold + hysteresis; the self-contained default).
+    StateThreshold,
+    /// RED/ECN dequeue marking — what a CEE switch runs (DCQCN's CP).
+    Red(EcnRed),
+    /// The IB CC FECN root/victim rule — what an InfiniBand switch runs.
+    Fecn(IbFecn),
+}
+
+/// The TCD state machine for one egress (port, priority/VL) pair.
+///
+/// `LAST_STATE` is the paper's register of the most recently *determined*
+/// state; the current ternary state additionally reflects whether the port
+/// is presently inside an ON-OFF pattern.
+///
+/// ```
+/// use lossless_flowctl::{SimDuration, SimTime};
+/// use tcd_core::detector::{CongestionDetector, DequeueContext};
+/// use tcd_core::{CodePoint, TcdConfig, TcdDetector, TernaryState};
+///
+/// let cfg = TcdConfig::new(SimDuration::from_us(30), 200_000, 5_000);
+/// let mut det = TcdDetector::new(cfg);
+///
+/// // Hop-by-hop flow control pauses, then releases, the port.
+/// det.on_pause(SimTime::from_us(0));
+/// det.on_resume(SimTime::from_us(10));
+///
+/// // A dequeue 5us later: T_on = 5us < max(T_on) = 30us, so the port is
+/// // in the ON-OFF pattern -> undetermined, packet marked UE.
+/// let mark = det.on_dequeue(&DequeueContext {
+///     now: SimTime::from_us(15),
+///     queue_bytes: 300_000,
+///     delayed_by_fc: false,
+/// });
+/// assert_eq!(mark, Some(CodePoint::UE));
+/// assert_eq!(det.port_state(), TernaryState::Undetermined);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcdDetector {
+    cfg: TcdConfig,
+    onoff: OnOffTracker,
+    /// The paper's LAST_STATE register.
+    last_state: TernaryState,
+    /// Queue length at the previous trend sample (valid while trend
+    /// sampling is active).
+    trend_prev_queue: u64,
+    /// Consecutive growing check periods observed (⑤ debounce).
+    growth_streak: u32,
+    /// Next trend-sample deadline; `None` while not in/after an
+    /// undetermined episode.
+    trend_deadline: Option<SimTime>,
+    /// Marking scheme used in the determined states.
+    legacy: LegacyScheme,
+    /// EWMA estimate of completed ON-period durations, in seconds (only
+    /// maintained when `cfg.adaptive` is set).
+    on_period_est_secs: f64,
+    /// Counters for the evaluation.
+    ue_marks: u64,
+    ce_marks: u64,
+    transitions: u64,
+}
+
+impl TcdDetector {
+    /// New detector; the port starts continuously ON and non-congested.
+    /// Marking in determined states uses the self-contained
+    /// [`LegacyScheme::StateThreshold`].
+    pub fn new(cfg: TcdConfig) -> Self {
+        Self::with_legacy(cfg, LegacyScheme::StateThreshold)
+    }
+
+    /// New detector deferring to `legacy` for marking in the determined
+    /// states (RED on a CEE switch, the FECN rule on an IB switch).
+    pub fn with_legacy(cfg: TcdConfig, legacy: LegacyScheme) -> Self {
+        TcdDetector {
+            cfg,
+            onoff: OnOffTracker::new(),
+            last_state: TernaryState::NonCongestion,
+            trend_prev_queue: 0,
+            growth_streak: 0,
+            trend_deadline: None,
+            legacy,
+            on_period_est_secs: 0.0,
+            ue_marks: 0,
+            ce_marks: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TcdConfig {
+        &self.cfg
+    }
+
+    /// Number of packets marked UE so far.
+    pub fn ue_marks(&self) -> u64 {
+        self.ue_marks
+    }
+
+    /// Number of packets marked CE so far.
+    pub fn ce_marks(&self) -> u64 {
+        self.ce_marks
+    }
+
+    /// Number of state transitions detected so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Read access to the ON/OFF tracker (for traces).
+    pub fn onoff(&self) -> &OnOffTracker {
+        &self.onoff
+    }
+
+    /// The bound currently separating the ON-OFF pattern from the
+    /// continuous-ON pattern: the static `max(T_on)` or, when configured,
+    /// the adaptive estimate.
+    pub fn current_max_ton(&self) -> SimDuration {
+        match self.cfg.adaptive {
+            None => self.cfg.max_ton,
+            Some(a) => {
+                if self.on_period_est_secs <= 0.0 {
+                    // No observation yet: fall back to the static bound.
+                    self.cfg.max_ton
+                } else {
+                    let adapted = self.on_period_est_secs * a.multiplier;
+                    let ps = (adapted * 1e12) as u64;
+                    SimDuration::from_ps(ps.clamp(a.floor.as_ps(), a.ceil.as_ps()))
+                }
+            }
+        }
+    }
+
+    fn set_state(&mut self, to: TernaryState) {
+        if self.last_state != to {
+            self.last_state = to;
+            self.transitions += 1;
+        }
+    }
+}
+
+impl CongestionDetector for TcdDetector {
+    fn on_dequeue(&mut self, ctx: &DequeueContext) -> Option<CodePoint> {
+        let ton = self.onoff.current_ton(ctx.now);
+        if ton < self.current_max_ton() {
+            // The port is inside an ON-OFF sending pattern: transitions ③/⑥
+            // into the undetermined state. Mark UE (the packet-level
+            // precedence rule keeps CE from being overwritten).
+            if self.last_state != TernaryState::Undetermined {
+                self.set_state(TernaryState::Undetermined);
+                // Begin trend sampling so the eventual release can be
+                // classified (④ vs ⑤).
+                self.trend_prev_queue = ctx.queue_bytes;
+                self.growth_streak = 0;
+                self.trend_deadline = Some(ctx.now + self.cfg.check_period);
+            }
+            self.ue_marks += 1;
+            return Some(CodePoint::UE);
+        }
+        match self.last_state {
+            TernaryState::Undetermined => {
+                // Released from the ON-OFF pattern (T_on ≥ max(T_on)) but
+                // not yet classified: the accumulated queue may still be
+                // draining. Do not mark; the trend timer decides ④ vs ⑤.
+                None
+            }
+            TernaryState::Congestion | TernaryState::NonCongestion => {
+                // Determined states: transitions ① / ② by queue size, and
+                // marking per the legacy lossy-network scheme (Fig. 9).
+                if ctx.queue_bytes > self.cfg.queue_high_bytes {
+                    self.set_state(TernaryState::Congestion);
+                } else if ctx.queue_bytes <= self.cfg.queue_low_bytes {
+                    self.set_state(TernaryState::NonCongestion);
+                }
+                let mark = match &mut self.legacy {
+                    LegacyScheme::StateThreshold => {
+                        (self.last_state == TernaryState::Congestion).then_some(CodePoint::CE)
+                    }
+                    LegacyScheme::Red(red) => red.on_dequeue(ctx),
+                    LegacyScheme::Fecn(fecn) => fecn.on_dequeue(ctx),
+                };
+                if mark.is_some() {
+                    self.ce_marks += 1;
+                }
+                mark
+            }
+        }
+    }
+
+    fn on_pause(&mut self, now: SimTime) {
+        // A completed ON period ends here: feed the adaptive estimator.
+        if let Some(a) = self.cfg.adaptive {
+            if !self.onoff.is_off() {
+                if let Some(end) = self.onoff.last_off_end() {
+                    let dur = now.saturating_since(end).as_secs_f64();
+                    self.on_period_est_secs = if self.on_period_est_secs <= 0.0 {
+                        dur
+                    } else {
+                        (1.0 - a.ewma_weight) * self.on_period_est_secs + a.ewma_weight * dur
+                    };
+                }
+            }
+        }
+        self.onoff.pause(now);
+    }
+
+    fn on_resume(&mut self, now: SimTime) {
+        self.onoff.resume(now);
+    }
+
+    fn timer_deadline(&self) -> Option<SimTime> {
+        self.trend_deadline
+    }
+
+    fn on_timer(&mut self, now: SimTime, queue_bytes: u64, backpressured: bool) {
+        debug_assert!(self.trend_deadline.is_some());
+        if self.last_state != TernaryState::Undetermined {
+            // A dequeue-path transition (e.g. back to ①/②o bookkeeping)
+            // already resolved the episode.
+            self.trend_deadline = None;
+            return;
+        }
+        let released = self.onoff.current_ton(now) >= self.current_max_ton();
+        if !released && !self.cfg.paper_literal {
+            // Still inside (or too soon after) the ON-OFF pattern —
+            // including currently-OFF, where T_on is zero. The trend is not
+            // yet meaningful; resample.
+            self.trend_prev_queue = queue_bytes;
+            self.growth_streak = 0;
+            self.trend_deadline = Some(now + self.cfg.check_period);
+            return;
+        }
+        if self.cfg.paper_literal && self.onoff.is_off() {
+            // Even the literal flowchart cannot classify while the port is
+            // paused (nothing dequeues); resample.
+            self.trend_prev_queue = queue_bytes;
+            self.trend_deadline = Some(now + self.cfg.check_period);
+            return;
+        }
+        let backpressured = backpressured || self.cfg.paper_literal;
+        // The port has been released for a full max(T_on): classify.
+        if queue_bytes <= self.cfg.queue_low_bytes {
+            // Transition ④: the buildup was caused by OFF and has drained.
+            self.set_state(TernaryState::NonCongestion);
+            self.growth_streak = 0;
+            self.trend_deadline = None;
+        } else if queue_bytes + self.cfg.trend_slack_bytes >= self.trend_prev_queue
+            && queue_bytes > self.cfg.queue_high_bytes
+            && backpressured
+        {
+            // Queue did not decrease over a clean ON period while sending
+            // at full rate (Fig. 9 asks "queue length decrease?") *and*
+            // the switch is restraining the inputs that feed this egress:
+            // the signature of a (covered) congestion root whose real
+            // input rate is at or above the line rate. The back-pressure
+            // gate separates that from a transient input wave passing
+            // through, or an exactly-utilized port whose standing queue is
+            // leftover OFF-era buildup (both of which drain or idle the
+            // ingress side). See DESIGN.md for the rationale.
+            self.growth_streak += 1;
+            if self.growth_streak >= self.cfg.confirm_periods {
+                // Transition ⑤.
+                self.set_state(TernaryState::Congestion);
+                self.growth_streak = 0;
+                self.trend_deadline = None;
+            } else {
+                self.trend_prev_queue = queue_bytes;
+                self.trend_deadline = Some(now + self.cfg.check_period);
+            }
+        } else {
+            // Queue decreasing (draining the OFF-caused backlog) but not
+            // yet at the low threshold: keep watching, do not mark.
+            self.growth_streak = 0;
+            self.trend_prev_queue = queue_bytes;
+            self.trend_deadline = Some(now + self.cfg.check_period);
+        }
+    }
+
+    fn port_state(&self) -> TernaryState {
+        self.last_state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcdConfig {
+        // max(T_on) = 30µs, T = 30µs, thresholds 200KB / 10KB.
+        TcdConfig::new(SimDuration::from_us(30), 200_000, 10_000)
+    }
+
+    fn deq(det: &mut TcdDetector, t_us: u64, q: u64) -> Option<CodePoint> {
+        det.on_dequeue(&DequeueContext {
+            now: SimTime::from_us(t_us),
+            queue_bytes: q,
+            delayed_by_fc: false,
+        })
+    }
+
+    #[test]
+    fn continuous_on_uses_queue_threshold() {
+        // Transition ① and ②, never paused.
+        let mut d = TcdDetector::new(cfg());
+        assert_eq!(deq(&mut d, 1, 50_000), None);
+        assert_eq!(d.port_state(), TernaryState::NonCongestion);
+        assert_eq!(deq(&mut d, 2, 250_000), Some(CodePoint::CE));
+        assert_eq!(d.port_state(), TernaryState::Congestion);
+        // Stays congested (and marking) until the low threshold.
+        assert_eq!(deq(&mut d, 3, 150_000), Some(CodePoint::CE));
+        assert_eq!(deq(&mut d, 4, 9_000), None);
+        assert_eq!(d.port_state(), TernaryState::NonCongestion);
+    }
+
+    #[test]
+    fn pause_resume_enters_undetermined_and_marks_ue() {
+        // Transition ③.
+        let mut d = TcdDetector::new(cfg());
+        d.on_pause(SimTime::from_us(10));
+        d.on_resume(SimTime::from_us(20));
+        // Dequeue 5µs after resume: T_on = 5µs < 30µs.
+        assert_eq!(deq(&mut d, 25, 300_000), Some(CodePoint::UE));
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        assert!(d.timer_deadline().is_some());
+        // Queue over the high threshold does NOT produce CE while
+        // undetermined — that is the whole point of TCD.
+        assert_eq!(deq(&mut d, 26, 400_000), Some(CodePoint::UE));
+    }
+
+    #[test]
+    fn release_with_draining_queue_is_non_congestion() {
+        // Transition ④ — the single-congestion-point scenario at port P2.
+        let mut d = TcdDetector::new(cfg());
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(10));
+        assert_eq!(deq(&mut d, 12, 300_000), Some(CodePoint::UE));
+        // Port released at t=40 (T_on = 30µs). Dequeues stop marking.
+        assert_eq!(deq(&mut d, 45, 280_000), None);
+        // Trend timer: queue decreasing -> keep watching, no CE.
+        let t1 = d.timer_deadline().unwrap();
+        d.on_timer(t1, 250_000, true);
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        let t2 = d.timer_deadline().unwrap();
+        assert!(t2 > t1);
+        d.on_timer(t2, 100_000, true);
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        // Queue reaches the low threshold: non-congestion.
+        let t3 = d.timer_deadline().unwrap();
+        d.on_timer(t3, 8_000, false);
+        assert_eq!(d.port_state(), TernaryState::NonCongestion);
+        assert_eq!(d.timer_deadline(), None);
+    }
+
+    #[test]
+    fn release_with_growing_queue_is_congestion() {
+        // Transition ⑤ — the multi-congestion-point scenario: the covered
+        // root emerges as a congestion port.
+        let mut d = TcdDetector::new(cfg());
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(10));
+        assert_eq!(deq(&mut d, 11, 250_000), Some(CodePoint::UE));
+        // Another pause keeps the port in the ON-OFF pattern, so the first
+        // timer fires while still within max(T_on): resample only.
+        d.on_pause(SimTime::from_us(15));
+        d.on_resume(SimTime::from_us(25));
+        let t1 = d.timer_deadline().unwrap();
+        d.on_timer(t1, 260_000, true);
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        // Next timer fires after release; queue grew and exceeds the high
+        // threshold: congestion.
+        let t2 = d.timer_deadline().unwrap();
+        d.on_timer(t2, 300_000, true);
+        assert_eq!(d.port_state(), TernaryState::Congestion);
+        // Subsequent dequeues mark CE.
+        assert_eq!(deq(&mut d, 100, 310_000), Some(CodePoint::CE));
+        assert_eq!(d.timer_deadline(), None);
+    }
+
+    #[test]
+    fn congested_port_paused_becomes_undetermined() {
+        // Transition ⑥ — a congestion-tree root covered by a deeper tree.
+        let mut d = TcdDetector::new(cfg());
+        assert_eq!(deq(&mut d, 1, 250_000), Some(CodePoint::CE));
+        assert_eq!(d.port_state(), TernaryState::Congestion);
+        d.on_pause(SimTime::from_us(2));
+        d.on_resume(SimTime::from_us(8));
+        assert_eq!(deq(&mut d, 9, 260_000), Some(CodePoint::UE));
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+    }
+
+    #[test]
+    fn repeated_pauses_keep_port_undetermined() {
+        let mut d = TcdDetector::new(cfg());
+        let mut t = 0u64;
+        for _ in 0..10 {
+            d.on_pause(SimTime::from_us(t));
+            d.on_resume(SimTime::from_us(t + 5));
+            assert_eq!(deq(&mut d, t + 7, 100_000), Some(CodePoint::UE));
+            t += 20; // each ON period (~15µs) stays below max(T_on)=30µs
+        }
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        assert_eq!(d.ue_marks(), 10);
+    }
+
+    #[test]
+    fn timer_resamples_while_off() {
+        // If the timer fires during an OFF period (T_on = 0) the trend is
+        // not classified.
+        let mut d = TcdDetector::new(cfg());
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(5));
+        assert_eq!(deq(&mut d, 6, 250_000), Some(CodePoint::UE));
+        d.on_pause(SimTime::from_us(10));
+        let t1 = d.timer_deadline().unwrap();
+        d.on_timer(t1, 400_000, true); // grew, but port is OFF: no conclusion
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        assert!(d.timer_deadline().is_some());
+    }
+
+    #[test]
+    fn transition_counter_counts_changes_only() {
+        let mut d = TcdDetector::new(cfg());
+        assert_eq!(d.transitions(), 0);
+        let _ = deq(&mut d, 1, 250_000); // 0 -> 1
+        let _ = deq(&mut d, 2, 260_000); // still 1
+        let _ = deq(&mut d, 3, 5_000); // 1 -> 0
+        assert_eq!(d.transitions(), 2);
+    }
+
+    #[test]
+    fn mark_counters() {
+        let mut d = TcdDetector::new(cfg());
+        let _ = deq(&mut d, 1, 250_000);
+        let _ = deq(&mut d, 2, 250_000);
+        d.on_pause(SimTime::from_us(3));
+        d.on_resume(SimTime::from_us(4));
+        let _ = deq(&mut d, 5, 250_000);
+        assert_eq!(d.ce_marks(), 2);
+        assert_eq!(d.ue_marks(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn config_rejects_inverted_thresholds() {
+        let _ = TcdConfig::new(SimDuration::from_us(30), 1000, 1000);
+    }
+
+    #[test]
+    fn adaptive_bound_tracks_observed_on_periods() {
+        let a = AdaptiveMaxTon {
+            ewma_weight: 0.5,
+            multiplier: 2.0,
+            floor: SimDuration::from_us(5),
+            ceil: SimDuration::from_us(500),
+        };
+        let mut d = TcdDetector::new(cfg().adaptive(a));
+        // Before any observation, the static bound applies.
+        assert_eq!(d.current_max_ton(), SimDuration::from_us(30));
+        // Feed a pause/resume cycle with a 10us ON period in between.
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(5));
+        d.on_pause(SimTime::from_us(15)); // ON period = 10us
+        // Estimate = 10us, bound = 2x = 20us.
+        assert_eq!(d.current_max_ton(), SimDuration::from_us(20));
+        d.on_resume(SimTime::from_us(20));
+        d.on_pause(SimTime::from_us(60)); // ON period = 40us
+        // Estimate = 0.5*10 + 0.5*40 = 25us, bound = 50us.
+        assert_eq!(d.current_max_ton(), SimDuration::from_us(50));
+    }
+
+    #[test]
+    fn adaptive_bound_respects_clamps() {
+        let a = AdaptiveMaxTon {
+            ewma_weight: 1.0,
+            multiplier: 2.0,
+            floor: SimDuration::from_us(8),
+            ceil: SimDuration::from_us(40),
+        };
+        let mut d = TcdDetector::new(cfg().adaptive(a));
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(1));
+        d.on_pause(SimTime::from_us(2)); // 1us ON -> 2us bound -> floor 8us
+        assert_eq!(d.current_max_ton(), SimDuration::from_us(8));
+        d.on_resume(SimTime::from_us(3));
+        d.on_pause(SimTime::from_us(103)); // 100us ON -> 200us -> ceil 40us
+        assert_eq!(d.current_max_ton(), SimDuration::from_us(40));
+    }
+
+    #[test]
+    fn adaptive_detector_still_detects_the_onoff_pattern() {
+        let a = AdaptiveMaxTon::default_for(SimDuration::from_us(30));
+        let mut d = TcdDetector::new(cfg().adaptive(a));
+        let mut t = 0u64;
+        for _ in 0..6 {
+            d.on_pause(SimTime::from_us(t));
+            d.on_resume(SimTime::from_us(t + 5));
+            assert_eq!(deq(&mut d, t + 7, 100_000), Some(CodePoint::UE));
+            t += 15;
+        }
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+    }
+
+    #[test]
+    fn timer_cleared_if_state_resolved_on_dequeue_path() {
+        let mut d = TcdDetector::new(cfg());
+        d.on_pause(SimTime::from_us(0));
+        d.on_resume(SimTime::from_us(5));
+        let _ = deq(&mut d, 6, 50_000);
+        assert_eq!(d.port_state(), TernaryState::Undetermined);
+        // Force-resolve via a timer classification to non-congestion,
+        // then ensure a stale second timer is harmless.
+        let t1 = d.timer_deadline().unwrap();
+        d.on_timer(t1, 5_000, false); // t1 = 6+30 = 36µs, released at 35µs
+        assert_eq!(d.port_state(), TernaryState::NonCongestion);
+        assert_eq!(d.timer_deadline(), None);
+    }
+}

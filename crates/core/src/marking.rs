@@ -1,0 +1,192 @@
+//! The TCD marking scheme (paper Table 1).
+//!
+//! TCD reuses a 2-bit header field (the ECN field in CEE, or an equivalent
+//! pair of bits in the IB transport header) to carry *ternary* congestion
+//! notification:
+//!
+//! | bits | meaning                        |
+//! |------|--------------------------------|
+//! | 00   | Non TCD-Capable Transport      |
+//! | 01   | TCD-Capable Transport          |
+//! | 10   | Undetermined Encountered (UE)  |
+//! | 11   | Congestion Encountered (CE)    |
+//!
+//! Precedence rule (§4.1): a packet that passes an undetermined port and
+//! then a congestion port has experienced congestion, so **CE always wins**:
+//! UE may only be applied when the current code point is not CE, while CE is
+//! applied whenever a port is in the congestion state. Packets from non
+//! TCD-capable transports (00) are never remarked.
+
+/// The 2-bit TCD code point carried by every packet.
+///
+/// ```
+/// use tcd_core::CodePoint;
+///
+/// // A packet crossing an undetermined port, then a congestion port,
+/// // has *experienced congestion* (CE wins).
+/// let p = CodePoint::Capable.apply(CodePoint::UE).apply(CodePoint::CE);
+/// assert_eq!(p, CodePoint::CE);
+/// // ...and a later UE never downgrades it.
+/// assert_eq!(p.apply(CodePoint::UE), CodePoint::CE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum CodePoint {
+    /// `00` — the transport does not understand TCD; never remarked.
+    NotCapable,
+    /// `01` — TCD-capable, nothing encountered yet.
+    #[default]
+    Capable,
+    /// `10` — the packet traversed at least one undetermined port (and no
+    /// congestion port so far).
+    UndeterminedEncountered,
+    /// `11` — the packet traversed at least one congestion port.
+    CongestionEncountered,
+}
+
+impl CodePoint {
+    /// Shorthand for [`CodePoint::UndeterminedEncountered`].
+    pub const UE: CodePoint = CodePoint::UndeterminedEncountered;
+    /// Shorthand for [`CodePoint::CongestionEncountered`].
+    pub const CE: CodePoint = CodePoint::CongestionEncountered;
+
+    /// Encode to the 2-bit wire representation of Table 1.
+    #[inline]
+    pub fn to_bits(self) -> u8 {
+        match self {
+            CodePoint::NotCapable => 0b00,
+            CodePoint::Capable => 0b01,
+            CodePoint::UndeterminedEncountered => 0b10,
+            CodePoint::CongestionEncountered => 0b11,
+        }
+    }
+
+    /// Decode from the 2-bit wire representation. Values above 3 are
+    /// rejected.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Option<CodePoint> {
+        match bits {
+            0b00 => Some(CodePoint::NotCapable),
+            0b01 => Some(CodePoint::Capable),
+            0b10 => Some(CodePoint::UndeterminedEncountered),
+            0b11 => Some(CodePoint::CongestionEncountered),
+            _ => None,
+        }
+    }
+
+    /// Apply a switch marking decision to this packet's current code point,
+    /// enforcing the Table 1 precedence rules:
+    ///
+    /// * a `NotCapable` packet is never remarked;
+    /// * `CE` is applied unconditionally (to capable packets);
+    /// * `UE` is applied only when the current code point is not `CE`;
+    /// * marking with `Capable`/`NotCapable` is a no-op (switches only ever
+    ///   *add* information).
+    #[must_use]
+    #[inline]
+    pub fn apply(self, mark: CodePoint) -> CodePoint {
+        match (self, mark) {
+            (CodePoint::NotCapable, _) => CodePoint::NotCapable,
+            (cur, CodePoint::CongestionEncountered) => cur.max(CodePoint::CE),
+            (CodePoint::CongestionEncountered, CodePoint::UndeterminedEncountered) => {
+                CodePoint::CE
+            }
+            (_, CodePoint::UndeterminedEncountered) => CodePoint::UE,
+            (cur, _) => cur,
+        }
+    }
+
+    /// Whether the packet reports having encountered congestion.
+    #[inline]
+    pub fn is_ce(self) -> bool {
+        self == CodePoint::CE
+    }
+
+    /// Whether the packet reports having (only) encountered an undetermined
+    /// port.
+    #[inline]
+    pub fn is_ue(self) -> bool {
+        self == CodePoint::UE
+    }
+
+    /// Whether the packet carries any congestion information (UE or CE).
+    #[inline]
+    pub fn is_marked(self) -> bool {
+        self.is_ce() || self.is_ue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CodePoint::{Capable, NotCapable};
+    const UE: CodePoint = CodePoint::UE;
+    const CE: CodePoint = CodePoint::CE;
+
+    #[test]
+    fn table1_wire_encoding() {
+        assert_eq!(NotCapable.to_bits(), 0b00);
+        assert_eq!(Capable.to_bits(), 0b01);
+        assert_eq!(CodePoint::UndeterminedEncountered.to_bits(), 0b10);
+        assert_eq!(CodePoint::CongestionEncountered.to_bits(), 0b11);
+        for bits in 0..4u8 {
+            assert_eq!(CodePoint::from_bits(bits).unwrap().to_bits(), bits);
+        }
+        assert_eq!(CodePoint::from_bits(4), None);
+    }
+
+    #[test]
+    fn ue_then_ce_is_congestion() {
+        // "If a packet first passes through an undetermined port, then a
+        // congestion port, this packet should be considered as experiencing
+        // congestion." (§4.1)
+        let p = Capable.apply(UE).apply(CE);
+        assert_eq!(p, CE);
+    }
+
+    #[test]
+    fn ue_never_overwrites_ce() {
+        // "UE can only be marked when the current code point is not CE."
+        let p = Capable.apply(CE).apply(UE);
+        assert_eq!(p, CE);
+    }
+
+    #[test]
+    fn ue_only_path_stays_ue() {
+        let p = Capable.apply(UE).apply(UE);
+        assert_eq!(p, UE);
+    }
+
+    #[test]
+    fn not_capable_is_never_remarked() {
+        assert_eq!(NotCapable.apply(CE), NotCapable);
+        assert_eq!(NotCapable.apply(UE), NotCapable);
+    }
+
+    #[test]
+    fn neutral_marks_are_noops() {
+        assert_eq!(CE.apply(Capable), CE);
+        assert_eq!(UE.apply(Capable), UE);
+        assert_eq!(Capable.apply(NotCapable), Capable);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(CE.is_ce() && CE.is_marked() && !CE.is_ue());
+        assert!(UE.is_ue() && UE.is_marked() && !UE.is_ce());
+        assert!(!Capable.is_marked());
+        assert!(!NotCapable.is_marked());
+    }
+
+    #[test]
+    fn apply_is_monotone_and_idempotent() {
+        // Information only accumulates; re-applying the same mark changes
+        // nothing.
+        for cur in [NotCapable, Capable, UE, CE] {
+            for mark in [NotCapable, Capable, UE, CE] {
+                let once = cur.apply(mark);
+                assert_eq!(once.apply(mark), once, "idempotent");
+                assert!(once >= cur || cur == NotCapable, "monotone");
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The conceptual ON-OFF model (paper §4.2, Fig. 7, Table 2) and the
+//! practical `max(T_on)` derivations for CEE (§4.3) and InfiniBand (§4.4).
+//!
+//! The model describes one hop-by-hop flow-control loop in steady state.
+//! During each ON period the downstream ingress queue grows from `B0` to
+//! `B1`; the upstream port then pauses, the queue drains back to `B0`, and
+//! the cycle repeats. With response time `τ` for ON/OFF messages to take
+//! effect, the ON period is (Eq. 1–2):
+//!
+//! ```text
+//! T_on = (B1 − B0 + τ·R_d) / (R_i − R_d) + τ
+//!      = (B1 − B0 + τ·R_d) / (ε·C)       + τ,   ε ≜ (R_i − R_d)/C
+//! ```
+//!
+//! Bounding the congested flow's drain rate by `R_d ≤ C/2` (at least two
+//! flows contend for the bottleneck) yields the pre-configurable bound
+//! (Eq. 3):
+//!
+//! ```text
+//! max(T_on) ≤ (2(B1 − B0) + τ·C) / (2·ε·C) + τ
+//! ```
+//!
+//! For PFC, `B1 − B0 = X_off − X_on` (recommended 2 MTU) and
+//! `τ = 2·MTU/C + 2·t_p`. For CBFC the FCCL message is periodic rather than
+//! threshold-triggered, and in steady state `T_on = R_d·T_c/(R_d + ε·C) <
+//! T_c` (Eq. 4), so the credit update period `T_c` itself is the bound.
+//!
+//! All formulas are plain `f64` math over SI units (seconds, bits/s, bytes);
+//! results are converted to [`SimDuration`] at the configuration boundary.
+
+use lossless_flowctl::units::MTU_BYTES;
+use lossless_flowctl::{Rate, SimDuration};
+
+/// Parameters of the conceptual ON-OFF model for a threshold-triggered flow
+/// control (PFC). See Table 2 of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct OnOffModel {
+    /// Link capacity `C`.
+    pub capacity: Rate,
+    /// Hysteresis gap `B1 − B0` of the ingress-queue thresholds, in bytes.
+    pub threshold_gap_bytes: u64,
+    /// Response time `τ` for an ON/OFF message to take effect.
+    pub tau: SimDuration,
+    /// Congestion degree `ε = (R_i − R_d)/C` the detector must still
+    /// recognise as an ON-OFF pattern. The paper recommends 0.05.
+    pub epsilon: f64,
+}
+
+impl OnOffModel {
+    /// The PFC response time `τ = 2·MTU/C + 2·t_p` (§4.3): a feedback frame
+    /// waits up to one MTU behind an in-flight packet at the receiver, the
+    /// rate change waits up to one MTU at the sender, plus one propagation
+    /// delay each way.
+    pub fn pfc_tau(capacity: Rate, mtu_bytes: u64, propagation: SimDuration) -> SimDuration {
+        capacity.serialize_time(mtu_bytes) * 2 + propagation * 2
+    }
+
+    /// Model for a CEE/PFC port with the paper's recommended settings:
+    /// `B1 − B0 = 2 MTU`, `τ` per [`OnOffModel::pfc_tau`].
+    pub fn cee(capacity: Rate, mtu_bytes: u64, propagation: SimDuration, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        OnOffModel {
+            capacity,
+            threshold_gap_bytes: 2 * mtu_bytes,
+            tau: Self::pfc_tau(capacity, mtu_bytes, propagation),
+            epsilon,
+        }
+    }
+
+    /// `T_on` for a given drain rate `R_d` (Eq. 2):
+    /// `(B1 − B0 + τ·R_d)/(ε·C) + τ`, in seconds.
+    pub fn ton_secs(&self, drain_rate: Rate) -> f64 {
+        let gap_bits = (self.threshold_gap_bytes * 8) as f64;
+        let tau = self.tau.as_secs_f64();
+        let c = self.capacity.as_bps() as f64;
+        let rd = drain_rate.as_bps() as f64;
+        (gap_bits + tau * rd) / (self.epsilon * c) + tau
+    }
+
+    /// `T_on` for given `ε` and `R_d` — the Fig. 8 surface. Identical to
+    /// [`ton_secs`](OnOffModel::ton_secs) but with `ε` supplied per point.
+    pub fn ton_secs_at(&self, epsilon: f64, drain_rate: Rate) -> f64 {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let gap_bits = (self.threshold_gap_bytes * 8) as f64;
+        let tau = self.tau.as_secs_f64();
+        let c = self.capacity.as_bps() as f64;
+        let rd = drain_rate.as_bps() as f64;
+        (gap_bits + tau * rd) / (epsilon * c) + tau
+    }
+
+    /// The pre-configurable bound `max(T_on)` (Eq. 3), obtained by
+    /// substituting the worst case `R_d = C/2`:
+    /// `(2(B1 − B0) + τ·C)/(2·ε·C) + τ`, in seconds.
+    pub fn max_ton_secs(&self) -> f64 {
+        let gap_bits = (self.threshold_gap_bytes * 8) as f64;
+        let tau = self.tau.as_secs_f64();
+        let c = self.capacity.as_bps() as f64;
+        (2.0 * gap_bits + tau * c) / (2.0 * self.epsilon * c) + tau
+    }
+
+    /// [`max_ton_secs`](OnOffModel::max_ton_secs) as a [`SimDuration`], for
+    /// configuring a detector.
+    pub fn max_ton(&self) -> SimDuration {
+        SimDuration::from_us_f64(self.max_ton_secs() * 1e6)
+    }
+}
+
+/// Convenience: the paper's recommended `max(T_on)` for a CEE network
+/// (§4.3). With `ε = 0.05`, `MTU = 1000 B`, `t_p = 1 µs` this yields
+/// 34.4 µs / 26.96 µs / 24.48 µs at 40/100/200 Gbps — the values quoted in
+/// the paper.
+///
+/// ```
+/// use lossless_flowctl::{Rate, SimDuration};
+/// use tcd_core::model::cee_max_ton;
+///
+/// let m = cee_max_ton(Rate::from_gbps(40), 1000, SimDuration::from_us(1), 0.05);
+/// assert!((m.as_us_f64() - 34.4).abs() < 0.01);
+/// ```
+pub fn cee_max_ton(
+    capacity: Rate,
+    mtu_bytes: u64,
+    propagation: SimDuration,
+    epsilon: f64,
+) -> SimDuration {
+    OnOffModel::cee(capacity, mtu_bytes, propagation, epsilon).max_ton()
+}
+
+/// The paper's recommended congestion degree `ε` (§4.2, validated in §5.1.4).
+pub const RECOMMENDED_EPSILON: f64 = 0.05;
+
+/// `T_on` of a CBFC-regulated port in steady state (Eq. 4):
+/// `T_on = R_d·T_c / (R_d + ε·C)`, in seconds. Always strictly less than
+/// `T_c` for `ε > 0`, which is why `T_c` bounds `T_on` in InfiniBand.
+pub fn ib_ton_secs(drain_rate: Rate, update_period: SimDuration, epsilon: f64, capacity: Rate) -> f64 {
+    let rd = drain_rate.as_bps() as f64;
+    let c = capacity.as_bps() as f64;
+    let tc = update_period.as_secs_f64();
+    rd * tc / (rd + epsilon * c)
+}
+
+/// The `max(T_on)` bound for InfiniBand (§4.4): the credit update period
+/// `T_c` itself. When a VL is configured with a bandwidth weight, the bound
+/// scales by the expected bandwidth proportion (§4.5).
+pub fn ib_max_ton(update_period: SimDuration, vl_bandwidth_share: f64) -> SimDuration {
+    assert!(
+        vl_bandwidth_share > 0.0 && vl_bandwidth_share <= 1.0,
+        "VL bandwidth share must be in (0, 1]"
+    );
+    SimDuration::from_us_f64(update_period.as_secs_f64() * 1e6 * vl_bandwidth_share)
+}
+
+/// One point of the Fig. 8 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Congestion degree `ε`.
+    pub epsilon: f64,
+    /// Drain rate `R_d` in Gbit/s.
+    pub rd_gbps: f64,
+    /// Resulting `T_on` in microseconds.
+    pub ton_us: f64,
+}
+
+/// Compute the Fig. 8 surface: `T_on` over a grid of `(ε, R_d)` with the
+/// figure's parameters `τ = 8 µs`, `C = 40 Gbps` (and `B1−B0 = 2 MTU`).
+/// `R_d` ranges over `(0, C/2]`, `ε` over the supplied values.
+pub fn fig8_surface(epsilons: &[f64], rd_steps: usize) -> Vec<SurfacePoint> {
+    let c = Rate::from_gbps(40);
+    let model = OnOffModel {
+        capacity: c,
+        threshold_gap_bytes: 2 * MTU_BYTES,
+        tau: SimDuration::from_us(8),
+        epsilon: RECOMMENDED_EPSILON,
+    };
+    let mut out = Vec::with_capacity(epsilons.len() * rd_steps);
+    for &eps in epsilons {
+        for i in 1..=rd_steps {
+            let rd_bps = (c.as_bps() / 2) * i as u64 / rd_steps as u64;
+            let rd = Rate::from_bps(rd_bps);
+            out.push(SurfacePoint {
+                epsilon: eps,
+                rd_gbps: rd.as_gbps_f64(),
+                ton_us: model.ton_secs_at(eps, rd) * 1e6,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn paper_max_ton_values_match() {
+        // §4.3: "the typical values of max(T_on) for 40/100/200 Gbps
+        // network is 34.4µs / 26.96µs / 24.48µs" with ε = 0.05,
+        // MTU = 1000 B, t_p = 1 µs.
+        let tp = SimDuration::from_us(1);
+        let m40 = cee_max_ton(Rate::from_gbps(40), 1000, tp, 0.05);
+        let m100 = cee_max_ton(Rate::from_gbps(100), 1000, tp, 0.05);
+        let m200 = cee_max_ton(Rate::from_gbps(200), 1000, tp, 0.05);
+        assert!(close(m40.as_us_f64(), 34.4, 0.01), "40G: {}", m40.as_us_f64());
+        assert!(close(m100.as_us_f64(), 26.96, 0.01), "100G: {}", m100.as_us_f64());
+        assert!(close(m200.as_us_f64(), 24.48, 0.01), "200G: {}", m200.as_us_f64());
+    }
+
+    #[test]
+    fn pfc_tau_components() {
+        // τ = 2·MTU/C + 2·t_p: at 40G with MTU 1000B and t_p 1µs this is
+        // 2·0.2µs + 2µs = 2.4µs.
+        let tau = OnOffModel::pfc_tau(Rate::from_gbps(40), 1000, SimDuration::from_us(1));
+        assert_eq!(tau, SimDuration::from_ns(2400));
+    }
+
+    #[test]
+    fn max_ton_bounds_ton_for_all_rd_up_to_half_c() {
+        let model = OnOffModel::cee(Rate::from_gbps(40), 1000, SimDuration::from_us(1), 0.05);
+        let bound = model.max_ton_secs();
+        for i in 1..=20 {
+            let rd = Rate::from_bps(Rate::from_gbps(20).as_bps() * i / 20);
+            assert!(
+                model.ton_secs(rd) <= bound + 1e-12,
+                "T_on(R_d={rd:?}) exceeds max(T_on)"
+            );
+        }
+    }
+
+    #[test]
+    fn ton_grows_as_epsilon_shrinks() {
+        // Fig. 8: T_on increases first slowly then rapidly as ε decreases.
+        let model = OnOffModel::cee(Rate::from_gbps(40), 1000, SimDuration::from_us(8), 0.05);
+        let rd = Rate::from_gbps(10);
+        let t_big = model.ton_secs_at(0.5, rd);
+        let t_mid = model.ton_secs_at(0.05, rd);
+        let t_small = model.ton_secs_at(0.005, rd);
+        assert!(t_big < t_mid && t_mid < t_small);
+        // The growth is hyperbolic: ratio of increments accelerates.
+        assert!((t_small - t_mid) > 5.0 * (t_mid - t_big));
+    }
+
+    #[test]
+    fn ib_ton_is_always_below_tc() {
+        // Eq. 4 with ε > 0 ⇒ T_on < T_c.
+        let tc = SimDuration::from_us(60);
+        let c = Rate::from_gbps(40);
+        for rd_g in [1u64, 5, 10, 20, 39] {
+            for eps in [0.01, 0.05, 0.2] {
+                let ton = ib_ton_secs(Rate::from_gbps(rd_g), tc, eps, c);
+                assert!(ton < tc.as_secs_f64(), "T_on must be < T_c");
+                assert!(ton > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ib_ton_approaches_tc_as_epsilon_vanishes() {
+        let tc = SimDuration::from_us(60);
+        let c = Rate::from_gbps(40);
+        let ton = ib_ton_secs(Rate::from_gbps(20), tc, 1e-9, c);
+        assert!(close(ton, tc.as_secs_f64(), 1e-9));
+    }
+
+    #[test]
+    fn ib_max_ton_scales_with_vl_share() {
+        let tc = SimDuration::from_us(60);
+        assert_eq!(ib_max_ton(tc, 1.0), tc);
+        assert_eq!(ib_max_ton(tc, 0.5), SimDuration::from_us(30));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ib_max_ton_rejects_zero_share() {
+        let _ = ib_max_ton(SimDuration::from_us(60), 0.0);
+    }
+
+    #[test]
+    fn fig8_surface_shape() {
+        let pts = fig8_surface(&[0.01, 0.05, 0.2], 8);
+        assert_eq!(pts.len(), 24);
+        // For fixed R_d, smaller ε gives larger T_on.
+        let at = |eps: f64, rd: f64| {
+            pts.iter()
+                .find(|p| close(p.epsilon, eps, 1e-12) && close(p.rd_gbps, rd, 1e-9))
+                .unwrap()
+                .ton_us
+        };
+        assert!(at(0.01, 20.0) > at(0.05, 20.0));
+        assert!(at(0.05, 20.0) > at(0.2, 20.0));
+        // For fixed ε, larger R_d gives larger T_on (τ·R_d term).
+        assert!(at(0.05, 20.0) > at(0.05, 2.5));
+    }
+
+    #[test]
+    fn max_ton_simduration_roundtrip() {
+        let model = OnOffModel::cee(Rate::from_gbps(40), 1000, SimDuration::from_us(1), 0.05);
+        let d = model.max_ton();
+        assert!(close(d.as_us_f64(), model.max_ton_secs() * 1e6, 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cee_model_rejects_bad_epsilon() {
+        let _ = OnOffModel::cee(Rate::from_gbps(40), 1000, SimDuration::from_us(1), 0.0);
+    }
+}

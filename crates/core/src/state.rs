@@ -1,0 +1,187 @@
+//! Ternary port states and the transition structure of the paper's Fig. 6.
+//!
+//! A switch egress port in a lossless network is in one of three states
+//! (§3.2.1):
+//!
+//! * **Non-congestion (0)** — persistently ON, no queue buildup.
+//! * **Congestion (1)** — persistently ON, output at full rate, with queue
+//!   buildup *not* caused by OFF periods. These ports are roots of
+//!   congestion trees; flows through them are the real culprits.
+//! * **Undetermined (/)** — the output alternates ON-OFF because hop-by-hop
+//!   flow control paused the port. Queue buildup may exist, but its cause
+//!   (excess input vs. pausing) is ambiguous — and the ON-OFF arrival
+//!   pattern from upstream can mask the real input rate entirely.
+//!
+//! Six transitions connect the states (Fig. 6). ① and ② are the classic
+//! lossy-network transitions driven by queue size; ③–⑥ involve the
+//! undetermined state and are driven by the ON-OFF pattern (`T_on` vs
+//! `max(T_on)`) plus, for ④/⑤, the queue-length trend after release.
+
+use core::fmt;
+
+/// The ternary state of a switch egress port (per priority / VL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TernaryState {
+    /// Persistently ON without queue buildup — state "0".
+    #[default]
+    NonCongestion,
+    /// Persistently ON at full output rate with queue buildup not caused by
+    /// OFF — state "1". The port is the root of a congestion tree.
+    Congestion,
+    /// ON-OFF sending pattern — state "/". The real input rate may be
+    /// masked; the cause of any queue buildup is ambiguous.
+    Undetermined,
+}
+
+impl TernaryState {
+    /// True for the congestion state (1).
+    #[inline]
+    pub fn is_congestion(self) -> bool {
+        matches!(self, TernaryState::Congestion)
+    }
+
+    /// True for the undetermined state (/).
+    #[inline]
+    pub fn is_undetermined(self) -> bool {
+        matches!(self, TernaryState::Undetermined)
+    }
+
+    /// The paper's symbol for the state: `0`, `1` or `/`.
+    pub fn symbol(self) -> char {
+        match self {
+            TernaryState::NonCongestion => '0',
+            TernaryState::Congestion => '1',
+            TernaryState::Undetermined => '/',
+        }
+    }
+}
+
+impl fmt::Display for TernaryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// The six legal transitions of Fig. 6, numbered as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// ① non-congestion → congestion: queue exceeds threshold while
+    /// continuously ON.
+    T1NonCongestionToCongestion,
+    /// ② congestion → non-congestion: queue drains below the low threshold
+    /// while continuously ON.
+    T2CongestionToNonCongestion,
+    /// ③ non-congestion → undetermined: the port is paused and enters an
+    /// ON-OFF pattern (`T_on < max(T_on)` at dequeue).
+    T3NonCongestionToUndetermined,
+    /// ④ undetermined → non-congestion: `T_on ≥ max(T_on)` (released) and
+    /// the queue decreases afterwards — buildup was caused by OFF.
+    T4UndeterminedToNonCongestion,
+    /// ⑤ undetermined → congestion: `T_on ≥ max(T_on)` (released) and the
+    /// queue keeps increasing beyond the threshold — the real input rate
+    /// exceeds the line rate (e.g. a covered congestion-tree root emerging).
+    T5UndeterminedToCongestion,
+    /// ⑥ congestion → undetermined: a congested port is itself paused (its
+    /// congestion tree is covered by a deeper one).
+    T6CongestionToUndetermined,
+}
+
+impl Transition {
+    /// Classify an observed state change as one of the paper's transitions.
+    /// Returns `None` for a self-transition (no change).
+    pub fn classify(from: TernaryState, to: TernaryState) -> Option<Transition> {
+        use TernaryState::*;
+        use Transition::*;
+        match (from, to) {
+            (NonCongestion, Congestion) => Some(T1NonCongestionToCongestion),
+            (Congestion, NonCongestion) => Some(T2CongestionToNonCongestion),
+            (NonCongestion, Undetermined) => Some(T3NonCongestionToUndetermined),
+            (Undetermined, NonCongestion) => Some(T4UndeterminedToNonCongestion),
+            (Undetermined, Congestion) => Some(T5UndeterminedToCongestion),
+            (Congestion, Undetermined) => Some(T6CongestionToUndetermined),
+            _ => None,
+        }
+    }
+
+    /// The endpoints of this transition as `(from, to)`.
+    pub fn endpoints(self) -> (TernaryState, TernaryState) {
+        use TernaryState::*;
+        use Transition::*;
+        match self {
+            T1NonCongestionToCongestion => (NonCongestion, Congestion),
+            T2CongestionToNonCongestion => (Congestion, NonCongestion),
+            T3NonCongestionToUndetermined => (NonCongestion, Undetermined),
+            T4UndeterminedToNonCongestion => (Undetermined, NonCongestion),
+            T5UndeterminedToCongestion => (Undetermined, Congestion),
+            T6CongestionToUndetermined => (Congestion, Undetermined),
+        }
+    }
+
+    /// Whether this transition involves the undetermined state — the four
+    /// transitions (③–⑥) that are new relative to lossy networks and that
+    /// TCD exists to detect.
+    pub fn involves_undetermined(self) -> bool {
+        let (a, b) = self.endpoints();
+        a.is_undetermined() || b.is_undetermined()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TernaryState::*;
+
+    #[test]
+    fn default_state_is_non_congestion() {
+        assert_eq!(TernaryState::default(), NonCongestion);
+    }
+
+    #[test]
+    fn symbols_match_paper_notation() {
+        assert_eq!(NonCongestion.symbol(), '0');
+        assert_eq!(Congestion.symbol(), '1');
+        assert_eq!(Undetermined.symbol(), '/');
+        assert_eq!(format!("{Undetermined}"), "/");
+    }
+
+    #[test]
+    fn all_six_transitions_classified() {
+        let states = [NonCongestion, Congestion, Undetermined];
+        let mut n = 0;
+        for &a in &states {
+            for &b in &states {
+                match Transition::classify(a, b) {
+                    Some(t) => {
+                        assert_eq!(t.endpoints(), (a, b));
+                        n += 1;
+                    }
+                    None => assert_eq!(a, b, "only self-transitions are None"),
+                }
+            }
+        }
+        assert_eq!(n, 6, "exactly six distinct transitions (Fig. 6)");
+    }
+
+    #[test]
+    fn undetermined_involvement() {
+        use Transition::*;
+        assert!(!T1NonCongestionToCongestion.involves_undetermined());
+        assert!(!T2CongestionToNonCongestion.involves_undetermined());
+        for t in [
+            T3NonCongestionToUndetermined,
+            T4UndeterminedToNonCongestion,
+            T5UndeterminedToCongestion,
+            T6CongestionToUndetermined,
+        ] {
+            assert!(t.involves_undetermined());
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Congestion.is_congestion());
+        assert!(!NonCongestion.is_congestion());
+        assert!(Undetermined.is_undetermined());
+        assert!(!Congestion.is_undetermined());
+    }
+}

@@ -1,0 +1,192 @@
+//! The ON–OFF sending-pattern observable.
+//!
+//! When hop-by-hop flow control takes effect, an egress port alternates
+//! between sending (ON) and pausing (OFF). TCD's key signal is the duration
+//! of the *current* ON period, `T_on`: the time elapsed since the latest OFF
+//! period ended (paper §4.1). A port that has never been paused — or whose
+//! last pause is long past — has an effectively infinite `T_on`.
+//!
+//! [`OnOffTracker`] records exactly that: it is fed `pause`/`resume`
+//! transitions by PFC or CBFC, and answers `current_ton(now)` on every
+//! dequeue. It also accumulates OFF-time statistics used by the evaluation
+//! (e.g. pause-duration traces for Fig. 10).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Tracks the ON/OFF sending state of one egress (port, priority/VL) pair.
+///
+/// ```
+/// use lossless_flowctl::{OnOffTracker, SimTime, SimDuration};
+///
+/// let mut t = OnOffTracker::new();
+/// // Never paused: T_on is unbounded.
+/// assert_eq!(t.current_ton(SimTime::from_us(99)), SimDuration::MAX);
+///
+/// t.pause(SimTime::from_us(100));   // PAUSE frame / credits exhausted
+/// t.resume(SimTime::from_us(130));  // RESUME / credits replenished
+/// // 20us later, the current ON period is 20us.
+/// assert_eq!(t.current_ton(SimTime::from_us(150)), SimDuration::from_us(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnOffTracker {
+    /// Whether the port is currently OFF (paused / out of credits).
+    off: bool,
+    /// When the current OFF period began (valid while `off`).
+    off_since: SimTime,
+    /// When the latest OFF period ended. `None` until the first pause ends.
+    last_off_end: Option<SimTime>,
+    /// Total accumulated OFF time (completed OFF periods only).
+    total_off: SimDuration,
+    /// Number of completed OFF periods.
+    off_periods: u64,
+}
+
+impl Default for OnOffTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnOffTracker {
+    /// A tracker for a port that starts out sending (ON) and has never
+    /// been paused.
+    pub fn new() -> Self {
+        OnOffTracker {
+            off: false,
+            off_since: SimTime::ZERO,
+            last_off_end: None,
+            total_off: SimDuration::ZERO,
+            off_periods: 0,
+        }
+    }
+
+    /// The port stopped sending (received PAUSE / ran out of credits).
+    /// Idempotent: a second pause while already OFF is ignored, matching
+    /// PFC where repeated PAUSE frames simply refresh the pause.
+    pub fn pause(&mut self, now: SimTime) {
+        if !self.off {
+            self.off = true;
+            self.off_since = now;
+        }
+    }
+
+    /// The port may send again (received RESUME / credits replenished).
+    /// Ends the current OFF period; ignored if the port was not OFF.
+    pub fn resume(&mut self, now: SimTime) {
+        if self.off {
+            self.off = false;
+            self.last_off_end = Some(now);
+            self.total_off += now.saturating_since(self.off_since);
+            self.off_periods += 1;
+        }
+    }
+
+    /// Whether the port is currently OFF.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        self.off
+    }
+
+    /// Duration of the current ON period: time since the latest OFF period
+    /// ended. Returns [`SimDuration::MAX`] ("infinite") when the port has
+    /// never been paused, per the paper's insight that a continuously-ON
+    /// port has unbounded `T_on`.
+    ///
+    /// While the port is OFF there is no current ON period; this returns
+    /// zero (the ON period about to start has not accumulated any time).
+    #[inline]
+    pub fn current_ton(&self, now: SimTime) -> SimDuration {
+        if self.off {
+            return SimDuration::ZERO;
+        }
+        match self.last_off_end {
+            None => SimDuration::MAX,
+            Some(end) => now.saturating_since(end),
+        }
+    }
+
+    /// When the latest OFF period ended, if any OFF period has completed.
+    #[inline]
+    pub fn last_off_end(&self) -> Option<SimTime> {
+        self.last_off_end
+    }
+
+    /// Total time spent OFF across all completed OFF periods.
+    #[inline]
+    pub fn total_off_time(&self) -> SimDuration {
+        self.total_off
+    }
+
+    /// Number of completed OFF periods (pause/resume cycles).
+    #[inline]
+    pub fn off_period_count(&self) -> u64 {
+        self.off_periods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_paused_port_has_infinite_ton() {
+        let t = OnOffTracker::new();
+        assert!(!t.is_off());
+        assert_eq!(t.current_ton(SimTime::from_ms(100)), SimDuration::MAX);
+        assert_eq!(t.last_off_end(), None);
+    }
+
+    #[test]
+    fn ton_measures_time_since_last_resume() {
+        let mut t = OnOffTracker::new();
+        t.pause(SimTime::from_us(10));
+        assert!(t.is_off());
+        assert_eq!(t.current_ton(SimTime::from_us(15)), SimDuration::ZERO);
+        t.resume(SimTime::from_us(20));
+        assert!(!t.is_off());
+        assert_eq!(t.current_ton(SimTime::from_us(50)), SimDuration::from_us(30));
+        assert_eq!(t.last_off_end(), Some(SimTime::from_us(20)));
+    }
+
+    #[test]
+    fn repeated_pause_is_idempotent() {
+        let mut t = OnOffTracker::new();
+        t.pause(SimTime::from_us(10));
+        t.pause(SimTime::from_us(12)); // refresh, must not move off_since
+        t.resume(SimTime::from_us(20));
+        assert_eq!(t.total_off_time(), SimDuration::from_us(10));
+        assert_eq!(t.off_period_count(), 1);
+    }
+
+    #[test]
+    fn resume_without_pause_is_ignored() {
+        let mut t = OnOffTracker::new();
+        t.resume(SimTime::from_us(5));
+        assert_eq!(t.last_off_end(), None);
+        assert_eq!(t.off_period_count(), 0);
+        assert_eq!(t.current_ton(SimTime::from_us(9)), SimDuration::MAX);
+    }
+
+    #[test]
+    fn off_statistics_accumulate() {
+        let mut t = OnOffTracker::new();
+        for i in 0..5u64 {
+            t.pause(SimTime::from_us(i * 100));
+            t.resume(SimTime::from_us(i * 100 + 30));
+        }
+        assert_eq!(t.off_period_count(), 5);
+        assert_eq!(t.total_off_time(), SimDuration::from_us(150));
+    }
+
+    #[test]
+    fn ton_restarts_after_each_off_period() {
+        let mut t = OnOffTracker::new();
+        t.pause(SimTime::from_us(0));
+        t.resume(SimTime::from_us(10));
+        assert_eq!(t.current_ton(SimTime::from_us(40)), SimDuration::from_us(30));
+        t.pause(SimTime::from_us(40));
+        t.resume(SimTime::from_us(45));
+        // T_on counts only from the most recent resume.
+        assert_eq!(t.current_ton(SimTime::from_us(50)), SimDuration::from_us(5));
+    }
+}

@@ -1,0 +1,283 @@
+//! Priority Flow Control (IEEE 802.1Qbb), the hop-by-hop flow control of
+//! Converged Enhanced Ethernet.
+//!
+//! PFC is threshold-triggered (paper §2.2): the downstream switch counts, per
+//! ingress port and per priority, the bytes currently buffered that arrived
+//! through that ingress. When the count exceeds `X_off` it sends a PAUSE
+//! frame upstream; when the count drains to `X_on` it sends a RESUME frame.
+//! The upstream egress may only transmit that priority while not paused.
+//!
+//! Two pure state machines live here:
+//!
+//! * [`PfcIngress`] — the downstream accounting side that decides when to
+//!   emit PAUSE/RESUME,
+//! * [`PfcEgress`] — the upstream side that holds the paused/running state.
+//!
+//! The switch model wires the commands to actual control frames on the
+//! reverse link.
+
+/// PFC thresholds for one (ingress port, priority) counter, in bytes.
+///
+/// The recommended `X_off − X_on` gap is 2 MTU (paper §4.3, following the
+/// DCQCN deployment guidance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcConfig {
+    /// Ingress byte count above which a PAUSE is sent.
+    pub xoff_bytes: u64,
+    /// Ingress byte count at or below which a RESUME is sent.
+    pub xon_bytes: u64,
+}
+
+impl PfcConfig {
+    /// Create a config, validating `xon < xoff`.
+    pub fn new(xoff_bytes: u64, xon_bytes: u64) -> Self {
+        assert!(
+            xon_bytes < xoff_bytes,
+            "PFC requires X_on ({xon_bytes}) < X_off ({xoff_bytes})"
+        );
+        PfcConfig { xoff_bytes, xon_bytes }
+    }
+
+    /// The paper's CEE simulation setting: `X_off` = 320 KB with a 2 KB
+    /// (2 MTU) hysteresis gap (§3.1.1, §5.2.1 uses 320 KB / 318 KB).
+    pub fn paper_simulation() -> Self {
+        PfcConfig::new(320 * 1024, 318 * 1024)
+    }
+
+    /// The paper's DPDK testbed setting: 800 KB / 770 KB (§5.1.1).
+    pub fn paper_testbed() -> Self {
+        PfcConfig::new(800 * 1024, 770 * 1024)
+    }
+}
+
+/// Command emitted by the ingress accounting machine; the switch must
+/// transmit the corresponding control frame to the upstream neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfcCommand {
+    /// Send a PAUSE frame for this priority.
+    SendPause,
+    /// Send a RESUME frame (PAUSE with zero quanta) for this priority.
+    SendResume,
+}
+
+/// Downstream per-(ingress port, priority) byte accounting.
+///
+/// `on_enqueue` must be called when a packet that arrived through this
+/// ingress is buffered anywhere in the switch, and `on_dequeue` when such a
+/// packet leaves the switch — this mirrors the shared-buffer ingress
+/// accounting of commodity Ethernet switches (and of the ns-3 RDMA model the
+/// paper builds on).
+///
+/// ```
+/// use lossless_flowctl::pfc::{PfcCommand, PfcConfig, PfcIngress};
+///
+/// let mut ing = PfcIngress::new(PfcConfig::new(10_000, 6_000));
+/// assert_eq!(ing.on_enqueue(9_000), None);                          // below X_off
+/// assert_eq!(ing.on_enqueue(2_000), Some(PfcCommand::SendPause));   // crossed X_off
+/// assert_eq!(ing.on_dequeue(6_000), Some(PfcCommand::SendResume));  // drained to X_on
+/// ```
+#[derive(Debug, Clone)]
+pub struct PfcIngress {
+    cfg: PfcConfig,
+    buffered_bytes: u64,
+    /// True while we have an outstanding PAUSE (upstream believes it is paused).
+    pause_sent: bool,
+    pauses_sent: u64,
+    resumes_sent: u64,
+    max_buffered: u64,
+}
+
+impl PfcIngress {
+    /// New counter with zero buffered bytes.
+    pub fn new(cfg: PfcConfig) -> Self {
+        PfcIngress {
+            cfg,
+            buffered_bytes: 0,
+            pause_sent: false,
+            pauses_sent: 0,
+            resumes_sent: 0,
+            max_buffered: 0,
+        }
+    }
+
+    /// Account an arriving packet; returns `SendPause` when the `X_off`
+    /// threshold is crossed and no PAUSE is outstanding.
+    #[must_use]
+    pub fn on_enqueue(&mut self, bytes: u64) -> Option<PfcCommand> {
+        self.buffered_bytes += bytes;
+        self.max_buffered = self.max_buffered.max(self.buffered_bytes);
+        if !self.pause_sent && self.buffered_bytes > self.cfg.xoff_bytes {
+            self.pause_sent = true;
+            self.pauses_sent += 1;
+            Some(PfcCommand::SendPause)
+        } else {
+            None
+        }
+    }
+
+    /// Account a departing packet; returns `SendResume` when the count
+    /// drains to `X_on` while a PAUSE is outstanding.
+    #[must_use]
+    pub fn on_dequeue(&mut self, bytes: u64) -> Option<PfcCommand> {
+        debug_assert!(
+            self.buffered_bytes >= bytes,
+            "PFC accounting underflow: {} - {}",
+            self.buffered_bytes,
+            bytes
+        );
+        self.buffered_bytes = self.buffered_bytes.saturating_sub(bytes);
+        if self.pause_sent && self.buffered_bytes <= self.cfg.xon_bytes {
+            self.pause_sent = false;
+            self.resumes_sent += 1;
+            Some(PfcCommand::SendResume)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes currently attributed to this ingress.
+    #[inline]
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes
+    }
+
+    /// Whether a PAUSE is currently outstanding.
+    #[inline]
+    pub fn is_pausing_upstream(&self) -> bool {
+        self.pause_sent
+    }
+
+    /// Total PAUSE frames emitted.
+    #[inline]
+    pub fn pauses_sent(&self) -> u64 {
+        self.pauses_sent
+    }
+
+    /// Total RESUME frames emitted.
+    #[inline]
+    pub fn resumes_sent(&self) -> u64 {
+        self.resumes_sent
+    }
+
+    /// High-water mark of the counter (headroom sizing check).
+    #[inline]
+    pub fn max_buffered(&self) -> u64 {
+        self.max_buffered
+    }
+}
+
+/// Upstream egress pause state for one (port, priority).
+#[derive(Debug, Clone, Default)]
+pub struct PfcEgress {
+    paused: bool,
+}
+
+impl PfcEgress {
+    /// New egress state, initially running.
+    pub fn new() -> Self {
+        PfcEgress { paused: false }
+    }
+
+    /// Apply a received PAUSE (`pause = true`) or RESUME (`pause = false`)
+    /// frame. Returns `true` if the state changed — the caller uses this to
+    /// drive the [`crate::OnOffTracker`] and to restart transmission.
+    pub fn on_frame(&mut self, pause: bool) -> bool {
+        let changed = self.paused != pause;
+        self.paused = pause;
+        changed
+    }
+
+    /// Whether this priority is currently paused by the downstream switch.
+    #[inline]
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PfcConfig {
+        PfcConfig::new(1000, 600)
+    }
+
+    #[test]
+    fn pause_emitted_once_when_crossing_xoff() {
+        let mut ing = PfcIngress::new(cfg());
+        assert_eq!(ing.on_enqueue(600), None);
+        assert_eq!(ing.on_enqueue(400), None); // exactly X_off: not exceeded
+        assert_eq!(ing.on_enqueue(1), Some(PfcCommand::SendPause));
+        // Further growth does not re-send PAUSE.
+        assert_eq!(ing.on_enqueue(500), None);
+        assert!(ing.is_pausing_upstream());
+        assert_eq!(ing.pauses_sent(), 1);
+    }
+
+    #[test]
+    fn resume_emitted_once_when_draining_to_xon() {
+        let mut ing = PfcIngress::new(cfg());
+        let _ = ing.on_enqueue(1500);
+        assert!(ing.is_pausing_upstream());
+        assert_eq!(ing.on_dequeue(300), None); // 1200 > X_on
+        assert_eq!(ing.on_dequeue(600), Some(PfcCommand::SendResume)); // 600 <= X_on
+        assert!(!ing.is_pausing_upstream());
+        assert_eq!(ing.on_dequeue(100), None);
+        assert_eq!(ing.resumes_sent(), 1);
+    }
+
+    #[test]
+    fn no_resume_without_outstanding_pause() {
+        let mut ing = PfcIngress::new(cfg());
+        let _ = ing.on_enqueue(500);
+        assert_eq!(ing.on_dequeue(500), None);
+        assert_eq!(ing.resumes_sent(), 0);
+    }
+
+    #[test]
+    fn hysteresis_cycles() {
+        let mut ing = PfcIngress::new(cfg());
+        for _ in 0..3 {
+            assert_eq!(ing.on_enqueue(1100), Some(PfcCommand::SendPause));
+            assert_eq!(ing.on_dequeue(1100), Some(PfcCommand::SendResume));
+        }
+        assert_eq!(ing.pauses_sent(), 3);
+        assert_eq!(ing.resumes_sent(), 3);
+        assert_eq!(ing.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut ing = PfcIngress::new(cfg());
+        let _ = ing.on_enqueue(2000);
+        let _ = ing.on_dequeue(1500);
+        let _ = ing.on_enqueue(100);
+        assert_eq!(ing.max_buffered(), 2000);
+    }
+
+    #[test]
+    fn egress_state_change_detection() {
+        let mut eg = PfcEgress::new();
+        assert!(!eg.is_paused());
+        assert!(eg.on_frame(true));
+        assert!(eg.is_paused());
+        assert!(!eg.on_frame(true)); // refresh, no change
+        assert!(eg.on_frame(false));
+        assert!(!eg.on_frame(false));
+        assert!(!eg.is_paused());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        let _ = PfcConfig::new(100, 100);
+    }
+
+    #[test]
+    fn paper_configs() {
+        let sim = PfcConfig::paper_simulation();
+        assert_eq!(sim.xoff_bytes, 320 * 1024);
+        let tb = PfcConfig::paper_testbed();
+        assert!(tb.xon_bytes < tb.xoff_bytes);
+    }
+}

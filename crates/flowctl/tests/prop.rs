@@ -1,0 +1,134 @@
+//! Property-based tests of the flow-control state machines.
+
+use lossless_flowctl::cbfc::{CbfcConfig, CbfcReceiver, CbfcSender};
+use lossless_flowctl::pfc::{PfcCommand, PfcConfig, PfcIngress};
+use lossless_flowctl::{OnOffTracker, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// PFC alternation: PAUSE and RESUME strictly alternate, starting with
+    /// PAUSE, no matter how enqueues and dequeues interleave.
+    #[test]
+    fn pfc_commands_strictly_alternate(ops in proptest::collection::vec((any::<bool>(), 1u64..4000), 0..300)) {
+        let mut ing = PfcIngress::new(PfcConfig::new(10_000, 6_000));
+        let mut queued: Vec<u64> = Vec::new();
+        let mut last: Option<PfcCommand> = None;
+        for (enq, bytes) in ops {
+            let cmd = if enq {
+                queued.push(bytes);
+                ing.on_enqueue(bytes)
+            } else if let Some(b) = queued.pop() {
+                ing.on_dequeue(b)
+            } else {
+                None
+            };
+            if let Some(c) = cmd {
+                match (last, c) {
+                    (None, PfcCommand::SendPause) => {}
+                    (Some(PfcCommand::SendPause), PfcCommand::SendResume) => {}
+                    (Some(PfcCommand::SendResume), PfcCommand::SendPause) => {}
+                    other => prop_assert!(false, "bad command order: {other:?}"),
+                }
+                last = Some(c);
+            }
+        }
+        // The counter matches what is still queued.
+        prop_assert_eq!(ing.buffered_bytes(), queued.iter().sum::<u64>());
+    }
+
+    /// PFC hysteresis: while a PAUSE is outstanding the counter was above
+    /// X_on at the moment of every enqueue-triggered check, and a RESUME
+    /// is only sent at or below X_on.
+    #[test]
+    fn pfc_resume_only_at_or_below_xon(sizes in proptest::collection::vec(1u64..5000, 1..200)) {
+        let cfg = PfcConfig::new(10_000, 6_000);
+        let mut ing = PfcIngress::new(cfg);
+        for &s in &sizes {
+            let _ = ing.on_enqueue(s);
+        }
+        for &s in sizes.iter().rev() {
+            if let Some(PfcCommand::SendResume) = ing.on_dequeue(s) {
+                prop_assert!(ing.buffered_bytes() <= cfg.xon_bytes);
+            }
+        }
+    }
+
+    /// CBFC safety: a sender gated by `can_send` can never overflow the
+    /// receiver's buffer, for any interleaving of sends, frees and FCCL
+    /// updates.
+    #[test]
+    fn cbfc_never_overflows_buffer(ops in proptest::collection::vec((0u8..3, 64u64..4096), 0..400)) {
+        let cfg = CbfcConfig { buffer_blocks: 64, update_period: SimDuration::from_us(20) };
+        let mut tx = CbfcSender::new(cfg);
+        let mut rx = CbfcReceiver::new(cfg);
+        let mut in_buffer: Vec<u64> = Vec::new();
+        for (op, bytes) in ops {
+            match op {
+                0 => {
+                    // Try to send (instant link).
+                    if tx.can_send(bytes) {
+                        tx.on_send(bytes);
+                        rx.on_packet_received(bytes);
+                        in_buffer.push(bytes);
+                        prop_assert!(rx.occupied_blocks() <= cfg.buffer_blocks,
+                            "buffer overflow: {} blocks", rx.occupied_blocks());
+                    }
+                }
+                1 => {
+                    // Forward a packet out of the buffer.
+                    if let Some(b) = in_buffer.pop() {
+                        rx.on_buffer_freed(b);
+                    }
+                }
+                _ => {
+                    // Credit update arrives.
+                    tx.on_fccl(rx.fccl());
+                }
+            }
+        }
+    }
+
+    /// CBFC liveness: after the buffer fully drains and an FCCL arrives,
+    /// the sender always regains full credits.
+    #[test]
+    fn cbfc_credits_recover_after_drain(sends in proptest::collection::vec(64u64..2048, 1..30)) {
+        let cfg = CbfcConfig { buffer_blocks: 256, update_period: SimDuration::from_us(20) };
+        let mut tx = CbfcSender::new(cfg);
+        let mut rx = CbfcReceiver::new(cfg);
+        let mut sent = Vec::new();
+        for s in sends {
+            if tx.can_send(s) {
+                tx.on_send(s);
+                rx.on_packet_received(s);
+                sent.push(s);
+            }
+        }
+        for s in sent {
+            rx.on_buffer_freed(s);
+        }
+        tx.on_fccl(rx.fccl());
+        prop_assert_eq!(tx.available_blocks(), cfg.buffer_blocks);
+    }
+
+    /// ON/OFF tracker: total OFF time never exceeds elapsed time, and
+    /// T_on is never larger than the time since the first event.
+    #[test]
+    fn onoff_accounting_is_sane(gaps in proptest::collection::vec(1u64..500, 2..100)) {
+        let mut t = OnOffTracker::new();
+        let mut now = 0u64;
+        for (i, g) in gaps.iter().enumerate() {
+            now += *g;
+            if i % 2 == 0 {
+                t.pause(SimTime::from_us(now));
+            } else {
+                t.resume(SimTime::from_us(now));
+            }
+        }
+        let end = SimTime::from_us(now + 1);
+        prop_assert!(t.total_off_time() <= end.saturating_since(SimTime::ZERO));
+        let ton = t.current_ton(end);
+        if ton != SimDuration::MAX {
+            prop_assert!(ton <= end.saturating_since(SimTime::ZERO));
+        }
+    }
+}

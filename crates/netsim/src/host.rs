@@ -1,0 +1,567 @@
+//! Host (endpoint) model: a rate-pacing NIC, sender-side congestion
+//! controllers, and receiver-side feedback generation.
+//!
+//! The NIC mirrors how RDMA NICs schedule queue pairs: there is no deep
+//! per-packet egress queue; instead each active flow has a paced
+//! next-transmission time, and whenever the wire is free the NIC picks the
+//! most overdue eligible flow and puts one MTU on the wire. Hop-by-hop flow
+//! control gates eligibility (PFC pause per priority in CEE; per-VL credits
+//! in InfiniBand), so a paused host naturally backlogs without modelling an
+//! unbounded NIC queue.
+//!
+//! On the receive side the host sinks data at line rate (granting CBFC
+//! credits back immediately in IB mode), accounts flow completion, and
+//! generates feedback per the configured [`FeedbackMode`]: DCQCN-style CNPs
+//! for marked packets, per-packet ACKs for TIMELY, or nothing.
+
+use crate::cchooks::{CcAction, CcEvent, RateController};
+use crate::config::{FeedbackMode, FlowControlMode};
+use crate::event::{Event, TxGate};
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::sim::Ctx;
+use crate::topology::NodeId;
+use lossless_flowctl::cbfc::{CbfcReceiver, CbfcSender};
+use lossless_flowctl::pfc::{PfcCommand, PfcEgress, PfcIngress};
+use lossless_flowctl::units::{CTRL_FRAME_BYTES, FCCL_FRAME_BYTES};
+use lossless_flowctl::{Rate, SimTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use tcd_core::CodePoint;
+
+/// Reserved timer id for the go-back-N retransmission timeout (lossy
+/// mode); controllers must not use it.
+const RTO_TIMER: u32 = u32::MAX;
+
+/// Sender-side state of one active flow.
+struct SenderFlow {
+    id: FlowId,
+    dst: NodeId,
+    size: u64,
+    /// Next byte offset to put on the wire (rewound on loss recovery).
+    sent: u64,
+    /// Cumulatively acknowledged bytes (lossy mode; unused in lossless
+    /// modes, where delivery is guaranteed).
+    acked: u64,
+    /// Consecutive duplicate cumulative ACKs (fast-retransmit trigger).
+    dup_acks: u32,
+    prio: u8,
+    next_tx: SimTime,
+    cc: Box<dyn RateController>,
+    /// Expected fire time per timer id (stale-timer guard).
+    timers: HashMap<u32, SimTime>,
+}
+
+/// Receiver-side state of one flow.
+#[derive(Debug, Default)]
+struct RxFlow {
+    bytes: u64,
+    last_cnp: Option<SimTime>,
+    completed: bool,
+}
+
+/// A host endpoint.
+pub struct Host {
+    id: NodeId,
+    line_rate: Rate,
+    gate: TxGate,
+    /// CEE: PFC pause state per priority (set by PAUSE frames from the ToR).
+    pfc_paused: Vec<PfcEgress>,
+    /// IB: credit senders per VL towards the ToR.
+    cbfc_tx: Vec<CbfcSender>,
+    /// IB: per-VL "wanted to send but had no credits" flag.
+    blocked_vl: Vec<bool>,
+    /// IB: credit receivers per VL (the host's own ingress buffer; drained
+    /// instantly, so it mainly advertises credits back upstream).
+    cbfc_rx: Vec<CbfcReceiver>,
+    /// Outgoing link-local control frames (FCCL), sent before anything else.
+    ctrl: VecDeque<Packet>,
+    /// Outgoing end-to-end feedback packets awaiting the NIC.
+    feedback_q: VecDeque<Packet>,
+    /// Active sender flows (small; linear scans are fine).
+    active: Vec<SenderFlow>,
+    /// Receiver-side per-flow state.
+    rx: HashMap<FlowId, RxFlow>,
+    /// Slow-receiver processing queue per priority (packet sizes awaiting
+    /// host processing); empty and unused when `host_rx_rate` is `None`.
+    rx_q: Vec<VecDeque<u64>>,
+    /// Whether a `HostDrain` event is outstanding.
+    rx_draining: bool,
+    /// CEE slow receiver: PFC accounting for the host's own receive
+    /// buffer, so an overwhelmed host pauses its ToR.
+    rx_pfc: Vec<PfcIngress>,
+    /// Cumulative data bytes transmitted (trace sampling).
+    pub tx_bytes: u64,
+}
+
+impl Host {
+    /// Create a host attached to a link of `line_rate`, configured per
+    /// `fc` with `num_prios` priorities/VLs.
+    pub fn new(id: NodeId, line_rate: Rate, fc: &FlowControlMode, num_prios: u8) -> Host {
+        let n = num_prios as usize;
+        let (cbfc_tx, cbfc_rx) = match fc {
+            FlowControlMode::Cbfc(c) => (
+                (0..n).map(|_| CbfcSender::new(*c)).collect(),
+                (0..n).map(|_| CbfcReceiver::new(*c)).collect(),
+            ),
+            _ => (Vec::new(), Vec::new()),
+        };
+        let rx_pfc = match fc {
+            FlowControlMode::Pfc(p) => (0..n).map(|_| PfcIngress::new(*p)).collect(),
+            _ => Vec::new(),
+        };
+        Host {
+            id,
+            line_rate,
+            gate: TxGate::new(),
+            pfc_paused: (0..n).map(|_| PfcEgress::new()).collect(),
+            cbfc_tx,
+            blocked_vl: vec![false; n],
+            cbfc_rx,
+            ctrl: VecDeque::new(),
+            feedback_q: VecDeque::new(),
+            active: Vec::new(),
+            rx: HashMap::new(),
+            rx_q: (0..n).map(|_| VecDeque::new()).collect(),
+            rx_draining: false,
+            rx_pfc,
+            tx_bytes: 0,
+        }
+    }
+
+    /// The NIC's line rate.
+    pub fn line_rate(&self) -> Rate {
+        self.line_rate
+    }
+
+    /// Number of flows currently sending.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The current CC rate of an active flow, if still sending.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<Rate> {
+        self.active.iter().find(|f| f.id == flow).map(|f| f.cc.rate())
+    }
+
+    /// Start a flow: install its controller and kick the NIC.
+    pub fn start_flow(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: FlowId,
+        dst: NodeId,
+        size: u64,
+        prio: u8,
+        mut cc: Box<dyn RateController>,
+    ) {
+        let action = cc.start(ctx.now, self.line_rate);
+        let mut flow = SenderFlow {
+            id,
+            dst,
+            size,
+            sent: 0,
+            acked: 0,
+            dup_acks: 0,
+            prio,
+            next_tx: ctx.now,
+            cc,
+            timers: HashMap::new(),
+        };
+        Self::apply_action(ctx, self.id, &mut flow, action);
+        if ctx.cfg.is_lossy() {
+            // Arm the retransmission timeout.
+            let at = ctx.now + ctx.cfg.rto;
+            flow.timers.insert(RTO_TIMER, at);
+            ctx.q.schedule(at, Event::CcTimer { node: self.id, flow: id, timer: RTO_TIMER });
+        }
+        self.active.push(flow);
+        self.kick(ctx);
+    }
+
+    fn apply_action(ctx: &mut Ctx<'_>, host: NodeId, flow: &mut SenderFlow, action: CcAction) {
+        for (id, delay) in action.timers {
+            let at = ctx.now + delay;
+            flow.timers.insert(id, at);
+            ctx.q.schedule(at, Event::CcTimer { node: host, flow: flow.id, timer: id });
+        }
+    }
+
+    /// Deliver a CC timer expiry.
+    pub fn on_cc_timer(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, timer: u32) {
+        let Some(idx) = self.active.iter().position(|f| f.id == flow_id) else {
+            return; // flow finished sending; stale timer
+        };
+        let flow = &mut self.active[idx];
+        if flow.timers.get(&timer) != Some(&ctx.now) {
+            return; // superseded
+        }
+        flow.timers.remove(&timer);
+        if timer == RTO_TIMER {
+            // Go-back-N: rewind to the last acknowledged byte and re-arm.
+            if flow.acked < flow.size {
+                flow.sent = flow.acked;
+                flow.next_tx = ctx.now;
+                let at = ctx.now + ctx.cfg.rto;
+                flow.timers.insert(RTO_TIMER, at);
+                ctx.q.schedule(
+                    at,
+                    Event::CcTimer { node: self.id, flow: flow_id, timer: RTO_TIMER },
+                );
+            }
+            self.kick(ctx);
+            return;
+        }
+        let action = flow.cc.on_event(ctx.now, CcEvent::Timer { id: timer });
+        Self::apply_action(ctx, self.id, flow, action);
+        self.kick(ctx);
+    }
+
+    /// Ask the engine to run `port_tx` as soon as the NIC could usefully
+    /// transmit.
+    pub fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(at) = self.gate.want(ctx.now) {
+            ctx.q.schedule(at, Event::PortTx { node: self.id, port: 0 });
+            self.gate.note_scheduled(at);
+        }
+    }
+
+    fn can_send_prio(&self, prio: u8, bytes: u64, is_ib: bool) -> bool {
+        if is_ib {
+            self.cbfc_tx[prio as usize].can_send(bytes)
+        } else {
+            !self.pfc_paused[prio as usize].is_paused()
+        }
+    }
+
+    /// The NIC transmitter is (possibly) free: send the next frame.
+    pub fn port_tx(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.gate.on_event(ctx.now) {
+            return;
+        }
+        let is_ib = ctx.cfg.is_ib();
+
+        // 1. Link-local control (FCCL) preempts everything and is ungated.
+        if let Some(pkt) = self.ctrl.pop_front() {
+            self.transmit(ctx, pkt, is_ib, false);
+            return;
+        }
+
+        // 2. End-to-end feedback next.
+        if let Some(pkt) = self.feedback_q.front() {
+            if self.can_send_prio(pkt.prio, pkt.size, is_ib) {
+                let pkt = self.feedback_q.pop_front().unwrap();
+                self.transmit(ctx, pkt, is_ib, true);
+                return;
+            } else if is_ib {
+                self.blocked_vl[ctx.cfg.feedback_prio as usize] = true;
+            }
+        }
+
+        // 3. Data: pick the most overdue eligible flow.
+        let mtu = ctx.cfg.mtu;
+        let mut best: Option<usize> = None;
+        let mut best_key = (SimTime::MAX, u32::MAX);
+        let mut pacing_wake: Option<SimTime> = None;
+        for (i, f) in self.active.iter().enumerate() {
+            if f.sent >= f.size {
+                // Lossy mode: everything sent, waiting for ACKs (or an RTO
+                // rewind).
+                continue;
+            }
+            let seg = mtu.min(f.size - f.sent);
+            if !self.can_send_prio(f.prio, seg, is_ib) {
+                if is_ib {
+                    self.blocked_vl[f.prio as usize] = true;
+                }
+                continue;
+            }
+            if f.cc.rate() == Rate::ZERO {
+                continue; // fully throttled; a CC event will re-kick
+            }
+            if f.next_tx <= ctx.now {
+                let key = (f.next_tx, f.id.0);
+                if key < best_key {
+                    best_key = key;
+                    best = Some(i);
+                }
+            } else {
+                pacing_wake = Some(match pacing_wake {
+                    Some(w) => w.min(f.next_tx),
+                    None => f.next_tx,
+                });
+            }
+        }
+
+        let Some(i) = best else {
+            // Nothing due now; wake when the earliest pacer allows.
+            if let Some(w) = pacing_wake {
+                if let Some(at) = self.gate.want(w) {
+                    ctx.q.schedule(at, Event::PortTx { node: self.id, port: 0 });
+                    self.gate.note_scheduled(at);
+                }
+            }
+            return;
+        };
+
+        let lossy = ctx.cfg.is_lossy();
+        let f = &mut self.active[i];
+        let seg = mtu.min(f.size - f.sent);
+        let last = f.sent + seg == f.size;
+        let mut pkt =
+            Packet::data(f.id, self.id, f.dst, seg, f.prio, f.sent, last, CodePoint::Capable);
+        pkt.sent_at = ctx.now;
+        f.sent += seg;
+        // Pace the next segment at the CC rate.
+        f.next_tx = ctx.now + f.cc.rate().serialize_time(seg);
+        let action = f.cc.on_event(ctx.now, CcEvent::Sent { bytes: seg });
+        let fid = f.id;
+        {
+            let f = &mut self.active[i];
+            Self::apply_action(ctx, self.id, f, action);
+        }
+        // Lossless modes: delivery is guaranteed, the flow leaves the
+        // sender once everything is on the wire. Lossy mode: the flow
+        // stays until cumulatively acknowledged.
+        if last && !lossy {
+            self.active.retain(|f| f.id != fid);
+        }
+        self.tx_bytes += seg;
+        self.transmit(ctx, pkt, is_ib, true);
+    }
+
+    /// Put a frame on the wire and schedule the next transmitter slot.
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, pkt: Packet, is_ib: bool, credit_gated: bool) {
+        if is_ib && credit_gated {
+            self.cbfc_tx[pkt.prio as usize].on_send(pkt.size);
+        }
+        let link = *ctx.topo.link(self.id, 0);
+        let ser = link.rate.serialize_time(pkt.size);
+        ctx.q.schedule(
+            ctx.now + ser + link.delay,
+            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+        );
+        let free = self.gate.begin_tx(ctx.now, ser);
+        ctx.q.schedule(free, Event::PortTx { node: self.id, port: 0 });
+        self.gate.note_scheduled(free);
+    }
+
+    /// A packet finished arriving at this host.
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Pause { prio, pause } => {
+                let changed = self.pfc_paused[prio as usize].on_frame(pause);
+                if changed && !pause {
+                    self.kick(ctx);
+                }
+            }
+            PacketKind::Fccl { vl, fccl } => {
+                let tx = &mut self.cbfc_tx[vl as usize];
+                tx.on_fccl(fccl);
+                if self.blocked_vl[vl as usize] && tx.available_blocks() > 0 {
+                    self.blocked_vl[vl as usize] = false;
+                    self.kick(ctx);
+                }
+            }
+            PacketKind::Data => self.on_data(ctx, pkt),
+            PacketKind::Ack { data_sent_at, echo, acked_bytes } => {
+                if ctx.cfg.is_lossy() {
+                    self.on_reliable_ack(ctx, pkt.flow, acked_bytes);
+                }
+                let rtt = ctx.now.saturating_since(data_sent_at);
+                self.deliver_cc_event(
+                    ctx,
+                    pkt.flow,
+                    CcEvent::Ack { rtt, code: echo, bytes: acked_bytes, int: pkt.int },
+                );
+            }
+            PacketKind::Cnp { code } => {
+                self.deliver_cc_event(ctx, pkt.flow, CcEvent::Feedback { code });
+            }
+        }
+    }
+
+    /// Go-back-N reliability (lossy mode): process a cumulative ACK.
+    fn on_reliable_ack(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, cum: u64) {
+        let Some(idx) = self.active.iter().position(|f| f.id == flow_id) else {
+            return;
+        };
+        let f = &mut self.active[idx];
+        if cum > f.acked {
+            f.acked = cum;
+            f.dup_acks = 0;
+            if f.acked >= f.size {
+                // Fully acknowledged: the flow is done at the sender.
+                self.active.retain(|x| x.id != flow_id);
+                return;
+            }
+            // Progress: push the RTO out.
+            let at = ctx.now + ctx.cfg.rto;
+            f.timers.insert(RTO_TIMER, at);
+            ctx.q.schedule(at, Event::CcTimer { node: self.id, flow: flow_id, timer: RTO_TIMER });
+        } else {
+            // Duplicate cumulative ACK: after three, fast-retransmit by
+            // rewinding to the hole.
+            f.dup_acks += 1;
+            if f.dup_acks >= 3 {
+                f.dup_acks = 0;
+                f.sent = f.acked;
+                f.next_tx = ctx.now;
+                self.kick(ctx);
+            }
+        }
+    }
+
+    fn deliver_cc_event(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, ev: CcEvent) {
+        if let Some(f) = self.active.iter_mut().find(|f| f.id == flow_id) {
+            let action = f.cc.on_event(ctx.now, ev);
+            Self::apply_action(ctx, self.id, f, action);
+            self.kick(ctx);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if let Some(rate) = ctx.cfg.host_rx_rate {
+            // Slow receiver: packets occupy the host's receive buffer until
+            // the host processes them at `rate`; the backlog back-pressures
+            // the ToR through the normal hop-by-hop machinery.
+            let prio = pkt.prio as usize;
+            if ctx.cfg.is_ib() {
+                self.cbfc_rx[prio].on_packet_received(pkt.size);
+                // freed later, when processed
+            } else if let Some(PfcCommand::SendPause) = self.rx_pfc[prio].on_enqueue(pkt.size) {
+                self.ctrl.push_back(Packet::link_local(
+                    PacketKind::Pause { prio: pkt.prio, pause: true },
+                    CTRL_FRAME_BYTES,
+                    0,
+                ));
+                ctx.trace.pause_frames += 1;
+                self.kick(ctx);
+            }
+            self.rx_q[prio].push_back(pkt.size);
+            if !self.rx_draining {
+                self.rx_draining = true;
+                let head = *self.rx_q[prio].front().unwrap();
+                ctx.q.schedule(
+                    ctx.now + rate.serialize_time(head),
+                    Event::HostDrain { node: self.id },
+                );
+            }
+        } else if ctx.cfg.is_ib() {
+            // Infinitely fast receiver: account and immediately free the
+            // host ingress buffer, so the next FCCL advertises the space
+            // back upstream.
+            let rx = &mut self.cbfc_rx[pkt.prio as usize];
+            rx.on_packet_received(pkt.size);
+            rx.on_buffer_freed(pkt.size);
+        }
+
+        let spec_size = ctx.flows[pkt.flow.0 as usize].size;
+        let lossy = ctx.cfg.is_lossy();
+        let st = self.rx.entry(pkt.flow).or_default();
+        // Lossy mode: accept only the next in-order segment (go-back-N);
+        // duplicates and post-gap segments are discarded but still elicit
+        // a (duplicate) cumulative ACK. Lossless modes are in-order by
+        // construction, so every packet is new.
+        let accept = !lossy || pkt.seq == st.bytes;
+        if accept {
+            ctx.trace.on_deliver_at(ctx.now, pkt.flow, pkt.size, pkt.code);
+            st.bytes += pkt.size;
+            if st.bytes >= spec_size && !st.completed {
+                st.completed = true;
+                ctx.trace.on_complete(pkt.flow, ctx.now);
+            }
+        }
+
+        match ctx.cfg.feedback {
+            FeedbackMode::None => {}
+            FeedbackMode::CnpOnMarked { min_interval, notify_ue } => {
+                let notify = pkt.code.is_ce() || (notify_ue && pkt.code.is_ue());
+                if notify {
+                    let due = match st.last_cnp {
+                        None => true,
+                        Some(t) => ctx.now.saturating_since(t) >= min_interval,
+                    };
+                    if due {
+                        st.last_cnp = Some(ctx.now);
+                        let cnp = Packet::feedback(
+                            pkt.flow,
+                            self.id,
+                            pkt.src,
+                            ctx.cfg.feedback_bytes,
+                            ctx.cfg.feedback_prio,
+                            PacketKind::Cnp { code: pkt.code },
+                        );
+                        self.feedback_q.push_back(cnp);
+                        self.kick(ctx);
+                    }
+                }
+            }
+            FeedbackMode::AckPerPacket => {
+                // Lossy mode carries the *cumulative* in-order byte count
+                // (the go-back-N ACK); lossless modes carry the segment
+                // size (TIMELY only uses the RTT).
+                let acked_bytes = if lossy { self.rx[&pkt.flow].bytes } else { pkt.size };
+                let mut ack = Packet::feedback(
+                    pkt.flow,
+                    self.id,
+                    pkt.src,
+                    ctx.cfg.feedback_bytes,
+                    ctx.cfg.feedback_prio,
+                    PacketKind::Ack {
+                        data_sent_at: pkt.sent_at,
+                        echo: pkt.code,
+                        acked_bytes,
+                    },
+                );
+                // Echo the in-band telemetry back to the sender.
+                ack.int = pkt.int;
+                self.feedback_q.push_back(ack);
+                self.kick(ctx);
+            }
+        }
+    }
+
+    /// A slow receiver finished processing its current head-of-queue
+    /// packet: release the buffer space (PFC counter / CBFC credits) and
+    /// start on the next packet.
+    pub fn on_host_drain(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rate) = ctx.cfg.host_rx_rate else { return };
+        // Strict priority: process the lowest-index non-empty queue.
+        let Some(prio) = (0..self.rx_q.len()).find(|&p| !self.rx_q[p].is_empty()) else {
+            self.rx_draining = false;
+            return;
+        };
+        let size = self.rx_q[prio].pop_front().unwrap();
+        if ctx.cfg.is_ib() {
+            self.cbfc_rx[prio].on_buffer_freed(size);
+        } else if let Some(PfcCommand::SendResume) = self.rx_pfc[prio].on_dequeue(size) {
+            self.ctrl.push_back(Packet::link_local(
+                PacketKind::Pause { prio: prio as u8, pause: false },
+                CTRL_FRAME_BYTES,
+                0,
+            ));
+            self.kick(ctx);
+        }
+        // Schedule the next processing completion, if any work remains.
+        if let Some(next_prio) = (0..self.rx_q.len()).find(|&p| !self.rx_q[p].is_empty()) {
+            let head = *self.rx_q[next_prio].front().unwrap();
+            ctx.q.schedule(ctx.now + rate.serialize_time(head), Event::HostDrain { node: self.id });
+        } else {
+            self.rx_draining = false;
+        }
+    }
+
+    /// Periodic CBFC credit update: advertise this host's ingress buffer
+    /// upstream and reschedule the tick.
+    pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, vl: u8) {
+        let rx = &self.cbfc_rx[vl as usize];
+        let msg = Packet::link_local(
+            PacketKind::Fccl { vl, fccl: rx.fccl() },
+            FCCL_FRAME_BYTES,
+            ctx.cfg.feedback_prio,
+        );
+        let period = rx.update_period();
+        self.ctrl.push_back(msg);
+        self.kick(ctx);
+        ctx.q.schedule(ctx.now + period, Event::FcclTick { node: self.id, port: 0, vl });
+    }
+}

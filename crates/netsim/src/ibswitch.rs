@@ -1,0 +1,410 @@
+//! The InfiniBand switch: virtual cut-through, input buffering with virtual
+//! output queues (VoQ), per-VL credit-based flow control, and a congestion
+//! detector on every egress (port, VL) — the architecture the paper's IB
+//! simulations use (§5.2.2).
+//!
+//! Each input port owns a receive buffer (paper: 280 KB) organised as VoQs
+//! per (VL, output port). The buffer is paid for with CBFC credits: the
+//! upstream node may only send while it holds credits, and this switch
+//! advertises fresh credits (FCCL) every `T_c` as packets leave the input
+//! buffer. Each egress arbitrates round-robin over the input VoQs destined
+//! to it; a head packet that cannot leave for lack of *downstream* credits
+//! is flagged `delayed_by_fc` — the IB CC FECN "victim" signal — and the
+//! egress registers an OFF period for the TCD detector.
+
+use crate::config::FlowControlMode;
+use crate::event::{Event, TxGate};
+use crate::packet::{Packet, PacketKind};
+use crate::sim::Ctx;
+use crate::topology::NodeId;
+use lossless_flowctl::cbfc::{CbfcReceiver, CbfcSender};
+use lossless_flowctl::units::FCCL_FRAME_BYTES;
+use lossless_flowctl::SimTime;
+use std::collections::VecDeque;
+use tcd_core::detector::{CongestionDetector, DequeueContext};
+use tcd_core::TernaryState;
+
+/// One port of an InfiniBand switch.
+pub struct IbPort {
+    /// Ingress: credit receivers per VL (this port's receive buffer).
+    rx: Vec<CbfcReceiver>,
+    /// Ingress: VoQs `[vl][out_port]` holding packets that arrived here.
+    voq: Vec<Vec<VecDeque<Packet>>>,
+    /// Egress: credit senders per VL (towards this port's peer).
+    tx: Vec<CbfcSender>,
+    /// Egress: wanted to send but lacked credits, per VL.
+    blocked: Vec<bool>,
+    /// Egress: number of times `blocked` transitioned to true, per VL.
+    /// Packets stamp this at enqueue; an advance during their wait marks
+    /// them "delayed due to lack of credits" (the FECN victim input).
+    block_epochs: Vec<u64>,
+    /// Egress: link-local FCCL frames to emit.
+    ctrl: VecDeque<Packet>,
+    /// Egress: detector per VL.
+    det: Vec<Box<dyn CongestionDetector>>,
+    /// Earliest pending detector-timer event per VL.
+    det_timer: Vec<Option<SimTime>>,
+    /// Egress: round-robin pointer over input ports, per VL.
+    rr: Vec<usize>,
+    /// Egress: remaining weighted-round-robin quantum per VL, in bytes
+    /// (only used when the switch has VL weights configured).
+    wrr_deficit: Vec<i64>,
+    /// Egress: WRR pointer over VLs.
+    wrr_next: usize,
+    /// Egress: total backlog destined to this output, per VL (sum over all
+    /// input VoQs) — the "output queue length" of the IB CC rule.
+    out_backlog: Vec<u64>,
+    gate: TxGate,
+    /// Cumulative data bytes transmitted (trace sampling).
+    pub tx_bytes: u64,
+}
+
+impl IbPort {
+    /// Output backlog in bytes for `vl` (the IB "output queue length").
+    pub fn queue_bytes(&self, vl: u8) -> u64 {
+        self.out_backlog[vl as usize]
+    }
+
+    /// Whether this egress is currently credit-blocked for `vl`.
+    pub fn is_blocked(&self, vl: u8) -> bool {
+        self.blocked[vl as usize]
+    }
+
+    /// The detector's current belief for `vl`.
+    pub fn port_state(&self, vl: u8) -> TernaryState {
+        self.det[vl as usize].port_state()
+    }
+
+    /// Ingress buffer occupancy high-water mark in blocks, summed over VLs.
+    pub fn max_rx_occupied_blocks(&self) -> u64 {
+        self.rx.iter().map(|r| r.max_occupied()).sum()
+    }
+
+    /// Whether this port's ingress is currently credit-constraining its
+    /// upstream for `vl`: the free space is below what a sender at
+    /// `line_rate` would need per credit-update period.
+    pub fn is_constraining_upstream(&self, vl: u8, line_rate: lossless_flowctl::Rate) -> bool {
+        let rx = &self.rx[vl as usize];
+        let line_blocks =
+            lossless_flowctl::units::bytes_to_blocks(line_rate.bytes_in(rx.update_period()));
+        rx.free_blocks() < line_blocks
+    }
+}
+
+/// An input-buffered VoQ InfiniBand switch.
+pub struct IbSwitch {
+    id: NodeId,
+    ports: Vec<IbPort>,
+    /// VL arbitration weights (paper §4.5); `None` = strict priority.
+    vl_weights: Option<Vec<u32>>,
+    /// The VL with absolute priority (feedback), exempt from WRR.
+    feedback_vl: u8,
+}
+
+impl IbSwitch {
+    /// Build a switch with one [`IbPort`] per topology port. `mk_det`
+    /// builds the detector for each `(port, vl)`.
+    pub fn new(
+        id: NodeId,
+        n_ports: usize,
+        num_vls: u8,
+        fc: &FlowControlMode,
+        vl_weights: Option<Vec<u32>>,
+        feedback_vl: u8,
+        mut mk_det: impl FnMut(u16, u8) -> Box<dyn CongestionDetector>,
+    ) -> IbSwitch {
+        let FlowControlMode::Cbfc(cbfc_cfg) = fc else {
+            panic!("IbSwitch requires CBFC flow control");
+        };
+        if let Some(w) = &vl_weights {
+            assert_eq!(w.len(), num_vls as usize, "one weight per VL");
+            assert!(w.iter().any(|&x| x > 0), "at least one positive VL weight");
+        }
+        let nvl = num_vls as usize;
+        let ports = (0..n_ports)
+            .map(|p| IbPort {
+                rx: (0..nvl).map(|_| CbfcReceiver::new(*cbfc_cfg)).collect(),
+                voq: (0..nvl).map(|_| (0..n_ports).map(|_| VecDeque::new()).collect()).collect(),
+                tx: (0..nvl).map(|_| CbfcSender::new(*cbfc_cfg)).collect(),
+                blocked: vec![false; nvl],
+                block_epochs: vec![0; nvl],
+                ctrl: VecDeque::new(),
+                det: (0..nvl).map(|vl| mk_det(p as u16, vl as u8)).collect(),
+                det_timer: vec![None; nvl],
+                rr: vec![0; nvl],
+                wrr_deficit: vec![0; nvl],
+                wrr_next: 0,
+                out_backlog: vec![0; nvl],
+                gate: TxGate::new(),
+                tx_bytes: 0,
+            })
+            .collect();
+        IbSwitch { id, ports, vl_weights, feedback_vl }
+    }
+
+    /// Pick the order in which VLs are offered the transmitter: the
+    /// feedback VL always first; the data VLs in strict index order
+    /// (default) or weighted round-robin (per-VL byte quanta proportional
+    /// to their weights, refilled when all eligible quanta are exhausted).
+    fn vl_order(&mut self, port: u16, mtu: u64) -> Vec<usize> {
+        let nvl = self.ports[port as usize].out_backlog.len();
+        let fb = self.feedback_vl as usize;
+        let Some(weights) = self.vl_weights.clone() else {
+            return (0..nvl).collect();
+        };
+        let p = &mut self.ports[port as usize];
+        let mut order = vec![fb];
+        // Data VLs with backlog and remaining quantum, starting from the
+        // WRR pointer.
+        let data_vls: Vec<usize> = (0..nvl).filter(|&v| v != fb).collect();
+        let eligible = |p: &IbPort, v: usize| p.out_backlog[v] > 0;
+        let quantum_left =
+            |p: &IbPort, v: usize| p.wrr_deficit[v] > 0;
+        // Refill when no backlogged VL has quantum left.
+        if !data_vls.iter().any(|&v| eligible(p, v) && quantum_left(p, v)) {
+            for &v in &data_vls {
+                let w = weights[v].max(0) as i64;
+                p.wrr_deficit[v] = w * mtu as i64;
+            }
+        }
+        let start = p.wrr_next;
+        let n = data_vls.len().max(1);
+        for i in 0..data_vls.len() {
+            let v = data_vls[(start + i) % n];
+            if quantum_left(p, v) {
+                order.push(v);
+            }
+        }
+        // Fall back to any remaining data VLs so the link never idles
+        // while work exists.
+        for &v in &data_vls {
+            if !order.contains(&v) {
+                order.push(v);
+            }
+        }
+        order
+    }
+
+    /// Charge a WRR transmission to `vl`'s quantum and advance the pointer.
+    fn wrr_charge(&mut self, port: u16, vl: usize, bytes: u64) {
+        if self.vl_weights.is_none() || vl == self.feedback_vl as usize {
+            return;
+        }
+        let nvl = self.ports[port as usize].out_backlog.len();
+        let p = &mut self.ports[port as usize];
+        p.wrr_deficit[vl] -= bytes as i64;
+        if p.wrr_deficit[vl] <= 0 {
+            // Move on to the next data VL.
+            let data_count = nvl.saturating_sub(1).max(1);
+            p.wrr_next = (p.wrr_next + 1) % data_count;
+        }
+    }
+
+    /// Access a port (for traces and tests).
+    pub fn port(&self, p: u16) -> &IbPort {
+        &self.ports[p as usize]
+    }
+
+    fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        let gate = &mut self.ports[port as usize].gate;
+        if let Some(at) = gate.want(ctx.now) {
+            ctx.q.schedule(at, Event::PortTx { node: self.id, port });
+            gate.note_scheduled(at);
+        }
+    }
+
+    fn sync_det_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
+        let p = &mut self.ports[port as usize];
+        let want = p.det[vl as usize].timer_deadline();
+        let pend = &mut p.det_timer[vl as usize];
+        if let Some(dl) = want {
+            if pend.is_none_or(|t| dl < t) {
+                ctx.q.schedule(dl, Event::DetectorTimer { node: self.id, port, prio: vl });
+                *pend = Some(dl);
+            }
+        }
+    }
+
+    /// A detector trend timer fired.
+    pub fn on_detector_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
+        // Back-pressure signal: some input holding traffic for this egress
+        // is credit-constrained by us. Under CBFC an input in steady state
+        // equilibrates with free space equal to the upstream's granted
+        // share per credit period, so "constrained" means the free space
+        // is below what a line-rate sender would need per period
+        // (C · T_c): the upstream is being held under its line rate.
+        let backpressured = self.ports.iter().enumerate().any(|(i, ip)| {
+            if ip.voq[vl as usize][port as usize].is_empty() {
+                return false;
+            }
+            let rx = &ip.rx[vl as usize];
+            let line = ctx.topo.link(self.id, i as u16).rate;
+            let line_blocks = lossless_flowctl::units::bytes_to_blocks(
+                line.bytes_in(rx.update_period()),
+            );
+            rx.free_blocks() < line_blocks
+        });
+        {
+            let p = &mut self.ports[port as usize];
+            let pend = &mut p.det_timer[vl as usize];
+            if *pend == Some(ctx.now) {
+                *pend = None;
+            }
+            if p.det[vl as usize].timer_deadline() == Some(ctx.now) {
+                let q = p.out_backlog[vl as usize];
+                p.det[vl as usize].on_timer(ctx.now, q, backpressured);
+            }
+        }
+        self.sync_det_timer(ctx, port, vl);
+    }
+
+    /// Periodic credit update for `(port, vl)`: advertise the input
+    /// buffer's FCCL upstream and reschedule.
+    pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
+        let p = &mut self.ports[port as usize];
+        let fccl = p.rx[vl as usize].fccl();
+        let period = p.rx[vl as usize].update_period();
+        p.ctrl.push_back(Packet::link_local(
+            PacketKind::Fccl { vl, fccl },
+            FCCL_FRAME_BYTES,
+            0,
+        ));
+        self.kick(ctx, port);
+        ctx.q.schedule(ctx.now + period, Event::FcclTick { node: self.id, port, vl });
+    }
+
+    /// A packet finished arriving through `in_port`.
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Packet) {
+        if let PacketKind::Fccl { vl, fccl } = pkt.kind {
+            // Fresh credits for our egress on this link.
+            let p = &mut self.ports[in_port as usize];
+            p.tx[vl as usize].on_fccl(fccl);
+            if p.blocked[vl as usize] && p.tx[vl as usize].available_blocks() > 0 {
+                p.blocked[vl as usize] = false;
+                p.det[vl as usize].on_resume(ctx.now);
+                self.sync_det_timer(ctx, in_port, vl);
+                self.kick(ctx, in_port);
+            }
+            return;
+        }
+        debug_assert!(!pkt.kind.is_link_local(), "PAUSE frame at an InfiniBand switch");
+
+        // Buffer at this input; route to a VoQ.
+        let vl = pkt.prio as usize;
+        let out = ctx.routing.out_port(self.id, pkt.dst, pkt.flow);
+        pkt.in_port = in_port;
+        pkt.enq_epoch = self.ports[out as usize].block_epochs[vl];
+        {
+            let p = &mut self.ports[in_port as usize];
+            p.rx[vl].on_packet_received(pkt.size);
+            p.voq[vl][out as usize].push_back(pkt);
+        }
+        let size = self.ports[in_port as usize].voq[vl][out as usize].back().unwrap().size;
+        self.ports[out as usize].out_backlog[vl] += size;
+        self.kick(ctx, out);
+    }
+
+    /// The egress transmitter of `port` is (possibly) free.
+    pub fn port_tx(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        if !self.ports[port as usize].gate.on_event(ctx.now) {
+            return;
+        }
+
+        // FCCL frames preempt data and are not credit-gated (real IB
+        // reserves dedicated credits for flow-control packets).
+        if let Some(frame) = self.ports[port as usize].ctrl.pop_front() {
+            self.transmit(ctx, port, frame);
+            return;
+        }
+
+        // VL order: strict priority, or WRR when weights are configured
+        // (§4.5); round-robin across input ports within a VL.
+        let vl_order = self.vl_order(port, ctx.cfg.mtu);
+        let n_ports = self.ports.len();
+        for vl in vl_order {
+            if self.ports[port as usize].out_backlog[vl] == 0 {
+                continue;
+            }
+            // Find the next input holding a head packet for (vl, port).
+            let start = self.ports[port as usize].rr[vl];
+            let mut found: Option<usize> = None;
+            for step in 0..n_ports {
+                let i = (start + step) % n_ports;
+                if !self.ports[i].voq[vl][port as usize].is_empty() {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = found else {
+                debug_assert!(false, "backlog without a VoQ head");
+                continue;
+            };
+            let head_size = self.ports[i].voq[vl][port as usize].front().unwrap().size;
+            if !self.ports[port as usize].tx[vl].can_send(head_size) {
+                // Out of credits: the head is a flow-control victim and
+                // this egress enters an OFF period.
+                self.ports[i].voq[vl][port as usize].front_mut().unwrap().delayed_by_fc = true;
+                let p = &mut self.ports[port as usize];
+                p.tx[vl].note_credit_stall();
+                if !p.blocked[vl] {
+                    p.blocked[vl] = true;
+                    p.block_epochs[vl] += 1;
+                    p.det[vl].on_pause(ctx.now);
+                }
+                continue; // other VLs may still have credits
+            }
+
+            // Dequeue.
+            let mut pkt = self.ports[i].voq[vl][port as usize].pop_front().unwrap();
+            self.ports[i].rx[vl].on_buffer_freed(pkt.size);
+            let q_incl = self.ports[port as usize].out_backlog[vl];
+            {
+                let p = &mut self.ports[port as usize];
+                p.out_backlog[vl] -= pkt.size;
+                p.rr[vl] = (i + 1) % n_ports;
+                p.tx[vl].on_send(pkt.size);
+            }
+
+            if pkt.is_data() && pkt.prio == ctx.cfg.data_prio {
+                // "Delayed due to lack of credits": the packet was at the
+                // head during a stall, or the egress stalled at any point
+                // while it waited (the block epoch advanced).
+                let delayed = pkt.delayed_by_fc
+                    || self.ports[port as usize].block_epochs[vl] > pkt.enq_epoch;
+                let dctx = DequeueContext {
+                    now: ctx.now,
+                    queue_bytes: q_incl,
+                    delayed_by_fc: delayed,
+                };
+                let decision = self.ports[port as usize].det[vl].on_dequeue(&dctx);
+                if let Some(mark) = decision {
+                    pkt.code = pkt.code.apply(mark);
+                    ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+                }
+                self.sync_det_timer(ctx, port, vl as u8);
+            }
+
+            pkt.in_port = u16::MAX;
+            pkt.delayed_by_fc = false;
+            ctx.trace.forwarded_pkts += 1;
+            self.ports[port as usize].tx_bytes += pkt.size;
+            self.wrr_charge(port, vl, pkt.size);
+            self.transmit(ctx, port, pkt);
+            return;
+        }
+        // Nothing sendable: idle until a kick (enqueue or FCCL arrival).
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Packet) {
+        let link = *ctx.topo.link(self.id, port);
+        let ser = link.rate.serialize_time(pkt.size);
+        ctx.q.schedule(
+            ctx.now + ser + link.delay,
+            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+        );
+        let gate = &mut self.ports[port as usize].gate;
+        let free = gate.begin_tx(ctx.now, ser);
+        ctx.q.schedule(free, Event::PortTx { node: self.id, port });
+        gate.note_scheduled(free);
+    }
+}

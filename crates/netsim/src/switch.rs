@@ -1,0 +1,330 @@
+//! The Converged-Enhanced-Ethernet switch: shared buffer, per-egress FIFO
+//! queues per priority, per-ingress PFC byte accounting, and a congestion
+//! detector on every egress (port, data-priority).
+//!
+//! The architecture follows the ns-3 RDMA model the paper builds on
+//! (§5.2.1): packets are physically queued at their egress, while a
+//! per-(ingress port, priority) byte counter tracks how much of the shared
+//! buffer each ingress is responsible for. When a counter exceeds `X_off`
+//! the switch sends a PAUSE upstream through that ingress port; when it
+//! drains to `X_on` it sends RESUME. An egress that receives a PAUSE stops
+//! serving that priority — that is the ON-OFF pattern TCD observes.
+
+use crate::config::FlowControlMode;
+use crate::event::{Event, TxGate};
+use crate::packet::{Packet, PacketKind};
+use crate::sim::Ctx;
+use crate::topology::NodeId;
+use lossless_flowctl::pfc::{PfcCommand, PfcEgress, PfcIngress};
+use lossless_flowctl::units::CTRL_FRAME_BYTES;
+use lossless_flowctl::SimTime;
+use std::collections::VecDeque;
+use tcd_core::detector::{CongestionDetector, DequeueContext};
+use tcd_core::TernaryState;
+
+/// One port of an Ethernet switch (egress queues + ingress accounting).
+pub struct EthPort {
+    /// Per-priority egress FIFO.
+    q: Vec<VecDeque<Packet>>,
+    /// Per-priority queued bytes.
+    qbytes: Vec<u64>,
+    /// Link-local control frames (PAUSE/RESUME) to send out this port;
+    /// preempt all data.
+    ctrl: VecDeque<Packet>,
+    /// Pause state of this egress per priority (set by the downstream
+    /// switch's PAUSE frames).
+    paused: Vec<PfcEgress>,
+    /// PFC accounting for packets that *arrived* through this port, per
+    /// priority.
+    pfc_in: Vec<PfcIngress>,
+    /// Number of times this egress was paused, per priority. Packets stamp
+    /// the epoch at enqueue; an advance during their wait means they were
+    /// "delayed by flow control" — the input NP-ECN-style detectors need.
+    pause_epochs: Vec<u64>,
+    /// Congestion detector per priority (only the data priority is
+    /// consulted, but every priority owns one for uniformity).
+    det: Vec<Box<dyn CongestionDetector>>,
+    /// Earliest pending detector-timer event per priority.
+    det_timer: Vec<Option<SimTime>>,
+    gate: TxGate,
+    /// Cumulative data bytes transmitted (trace sampling).
+    pub tx_bytes: u64,
+}
+
+impl EthPort {
+    /// Egress queue length in bytes for `prio`.
+    pub fn queue_bytes(&self, prio: u8) -> u64 {
+        self.qbytes[prio as usize]
+    }
+
+    /// Whether this egress is paused for `prio`.
+    pub fn is_paused(&self, prio: u8) -> bool {
+        self.paused[prio as usize].is_paused()
+    }
+
+    /// The detector's current belief for `prio`.
+    pub fn port_state(&self, prio: u8) -> TernaryState {
+        self.det[prio as usize].port_state()
+    }
+
+    /// Total PAUSE frames this port's ingress accounting has emitted.
+    pub fn pauses_sent(&self) -> u64 {
+        self.pfc_in.iter().map(|p| p.pauses_sent()).sum()
+    }
+
+    /// Whether this port's ingress accounting currently has an outstanding
+    /// PAUSE towards its upstream neighbour for `prio`.
+    pub fn is_pausing_upstream(&self, prio: u8) -> bool {
+        self.pfc_in[prio as usize].is_pausing_upstream()
+    }
+}
+
+/// A shared-buffer Ethernet switch with PFC, or a drop-tail lossy switch.
+pub struct EthSwitch {
+    id: NodeId,
+    ports: Vec<EthPort>,
+    /// Total bytes buffered across the switch (high-water tracked).
+    buffered: u64,
+    /// Buffer high-water mark.
+    pub max_buffered: u64,
+    /// Lossy mode: per-(egress, priority) drop-tail limit. `None` = PFC
+    /// (lossless) mode.
+    drop_tail: Option<u64>,
+}
+
+impl EthSwitch {
+    /// Build a switch for `node` with one [`EthPort`] per topology port.
+    /// `mk_det` builds the detector for each `(port, prio)`.
+    pub fn new(
+        id: NodeId,
+        n_ports: usize,
+        num_prios: u8,
+        fc: &FlowControlMode,
+        mut mk_det: impl FnMut(u16, u8) -> Box<dyn CongestionDetector>,
+    ) -> EthSwitch {
+        let (pfc_cfg, drop_tail) = match fc {
+            FlowControlMode::Pfc(p) => (*p, None),
+            FlowControlMode::Lossy { egress_buffer_bytes } => {
+                // PFC machinery is instantiated but the thresholds are
+                // unreachable (drop-tail caps the buffers far below them).
+                (
+                    lossless_flowctl::pfc::PfcConfig::new(u64::MAX - 1, u64::MAX - 2),
+                    Some(*egress_buffer_bytes),
+                )
+            }
+            FlowControlMode::Cbfc(_) => panic!("EthSwitch cannot run CBFC"),
+        };
+        let np = num_prios as usize;
+        let ports = (0..n_ports)
+            .map(|p| EthPort {
+                q: (0..np).map(|_| VecDeque::new()).collect(),
+                qbytes: vec![0; np],
+                ctrl: VecDeque::new(),
+                paused: (0..np).map(|_| PfcEgress::new()).collect(),
+                pfc_in: (0..np).map(|_| PfcIngress::new(pfc_cfg)).collect(),
+                pause_epochs: vec![0; np],
+                det: (0..np).map(|pr| mk_det(p as u16, pr as u8)).collect(),
+                det_timer: vec![None; np],
+                gate: TxGate::new(),
+                tx_bytes: 0,
+            })
+            .collect();
+        EthSwitch { id, ports, buffered: 0, max_buffered: 0, drop_tail }
+    }
+
+    /// Access a port (for traces and tests).
+    pub fn port(&self, p: u16) -> &EthPort {
+        &self.ports[p as usize]
+    }
+
+    fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        let gate = &mut self.ports[port as usize].gate;
+        if let Some(at) = gate.want(ctx.now) {
+            ctx.q.schedule(at, Event::PortTx { node: self.id, port });
+            gate.note_scheduled(at);
+        }
+    }
+
+    /// Push a PAUSE/RESUME frame out through `port` (towards the upstream
+    /// node that is over/under-filling us).
+    fn send_pfc(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8, pause: bool) {
+        let frame =
+            Packet::link_local(PacketKind::Pause { prio, pause }, CTRL_FRAME_BYTES, 0);
+        self.ports[port as usize].ctrl.push_back(frame);
+        ctx.trace.pause_frames += 1;
+        self.kick(ctx, port);
+    }
+
+    /// Re-sync the detector timer for `(port, prio)` with the engine.
+    fn sync_det_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
+        let p = &mut self.ports[port as usize];
+        let want = p.det[prio as usize].timer_deadline();
+        let pend = &mut p.det_timer[prio as usize];
+        if let Some(dl) = want {
+            if pend.is_none_or(|t| dl < t) {
+                ctx.q.schedule(dl, Event::DetectorTimer { node: self.id, port, prio });
+                *pend = Some(dl);
+            }
+        }
+    }
+
+    /// A detector trend timer fired.
+    pub fn on_detector_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
+        // Back-pressure signal: is this switch currently pausing any
+        // upstream on this priority? (Shared-buffer accounting cannot
+        // attribute the pause to one egress, so this is switch-wide — a
+        // conservative approximation discussed in DESIGN.md.)
+        let backpressured = self
+            .ports
+            .iter()
+            .any(|p| p.pfc_in[prio as usize].is_pausing_upstream());
+        {
+            let p = &mut self.ports[port as usize];
+            let pend = &mut p.det_timer[prio as usize];
+            if *pend == Some(ctx.now) {
+                *pend = None;
+            }
+            if p.det[prio as usize].timer_deadline() == Some(ctx.now) {
+                let q = p.qbytes[prio as usize];
+                p.det[prio as usize].on_timer(ctx.now, q, backpressured);
+            }
+        }
+        self.sync_det_timer(ctx, port, prio);
+    }
+
+    /// A packet finished arriving through `in_port`.
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Packet) {
+        if let PacketKind::Pause { prio, pause } = pkt.kind {
+            // PAUSE from the downstream node on this link: gate our egress.
+            let p = &mut self.ports[in_port as usize];
+            let changed = p.paused[prio as usize].on_frame(pause);
+            if changed {
+                if pause {
+                    p.pause_epochs[prio as usize] += 1;
+                    p.det[prio as usize].on_pause(ctx.now);
+                } else {
+                    p.det[prio as usize].on_resume(ctx.now);
+                    self.sync_det_timer(ctx, in_port, prio);
+                    self.kick(ctx, in_port);
+                }
+            }
+            return;
+        }
+        debug_assert!(!pkt.kind.is_link_local(), "FCCL frame at an Ethernet switch");
+
+        // Forward: enqueue at the routed egress, account the ingress.
+        let out = ctx.routing.out_port(self.id, pkt.dst, pkt.flow);
+        let prio = pkt.prio as usize;
+        // Lossy mode: drop-tail at the egress queue. Feedback packets are
+        // spared (they are tiny and model hardware-prioritized control).
+        if let Some(limit) = self.drop_tail {
+            if pkt.is_data() && self.ports[out as usize].qbytes[prio] + pkt.size > limit {
+                ctx.trace.drops += 1;
+                return;
+            }
+        }
+        pkt.in_port = in_port;
+        self.buffered += pkt.size;
+        self.max_buffered = self.max_buffered.max(self.buffered);
+        {
+            let pin = &mut self.ports[in_port as usize].pfc_in[prio];
+            if let Some(PfcCommand::SendPause) = pin.on_enqueue(pkt.size) {
+                self.send_pfc(ctx, in_port, prio as u8, true);
+            }
+        }
+        let op = &mut self.ports[out as usize];
+        pkt.enq_epoch = op.pause_epochs[prio];
+        op.qbytes[prio] += pkt.size;
+        op.q[prio].push_back(pkt);
+        self.kick(ctx, out);
+    }
+
+    /// The egress transmitter of `port` is (possibly) free.
+    pub fn port_tx(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        if !self.ports[port as usize].gate.on_event(ctx.now) {
+            return;
+        }
+
+        // Control frames preempt data and ignore pause state.
+        if let Some(frame) = self.ports[port as usize].ctrl.pop_front() {
+            self.transmit(ctx, port, frame);
+            return;
+        }
+
+        // Strict priority among unpaused, non-empty queues.
+        let np = self.ports[port as usize].q.len();
+        let mut chosen: Option<usize> = None;
+        for prio in 0..np {
+            let p = &self.ports[port as usize];
+            if !p.paused[prio].is_paused() && !p.q[prio].is_empty() {
+                chosen = Some(prio);
+                break;
+            }
+        }
+        let Some(prio) = chosen else {
+            return; // idle; a future enqueue/RESUME will kick us
+        };
+
+        let (pkt, q_incl) = {
+            let p = &mut self.ports[port as usize];
+            let pkt = p.q[prio].pop_front().unwrap();
+            let q_incl = p.qbytes[prio];
+            p.qbytes[prio] -= pkt.size;
+            (pkt, q_incl)
+        };
+        self.buffered -= pkt.size;
+
+        // Ingress accounting: the departing packet frees its ingress share.
+        let in_port = pkt.in_port;
+        {
+            let pin = &mut self.ports[in_port as usize].pfc_in[prio];
+            if let Some(PfcCommand::SendResume) = pin.on_dequeue(pkt.size) {
+                self.send_pfc(ctx, in_port, prio as u8, false);
+            }
+        }
+
+        // Congestion detection on the dequeue path (data packets on the
+        // data priority only; feedback is never marked).
+        let mut pkt = pkt;
+        if pkt.is_data() && pkt.prio == ctx.cfg.data_prio {
+            // "Delayed by flow control": the egress was paused at some
+            // point while this packet waited (pause-epoch advanced).
+            let delayed =
+                self.ports[port as usize].pause_epochs[prio] > pkt.enq_epoch;
+            let dctx =
+                DequeueContext { now: ctx.now, queue_bytes: q_incl, delayed_by_fc: delayed };
+            let decision = self.ports[port as usize].det[prio].on_dequeue(&dctx);
+            if let Some(mark) = decision {
+                pkt.code = pkt.code.apply(mark);
+                ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+            }
+            self.sync_det_timer(ctx, port, prio as u8);
+        }
+
+        pkt.in_port = u16::MAX;
+        ctx.trace.forwarded_pkts += 1;
+        self.ports[port as usize].tx_bytes += pkt.size;
+        if ctx.cfg.int_telemetry && pkt.is_data() {
+            pkt.int.push(crate::packet::IntHop {
+                qlen_bytes: q_incl - pkt.size,
+                tx_bytes: self.ports[port as usize].tx_bytes,
+                ts: ctx.now,
+                rate: ctx.topo.link(self.id, port).rate,
+            });
+        }
+        self.transmit(ctx, port, pkt);
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Packet) {
+        let link = *ctx.topo.link(self.id, port);
+        let ser = link.rate.serialize_time(pkt.size);
+        ctx.q.schedule(
+            ctx.now + ser + link.delay,
+            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+        );
+        let gate = &mut self.ports[port as usize].gate;
+        let free = gate.begin_tx(ctx.now, ser);
+        ctx.q.schedule(free, Event::PortTx { node: self.id, port });
+        gate.note_scheduled(free);
+    }
+}

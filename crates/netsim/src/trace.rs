@@ -1,0 +1,278 @@
+//! Measurement collection: queue-length/rate/state timeseries, marking
+//! records, and per-flow delivery statistics.
+//!
+//! The engine samples the ports listed in
+//! [`SimConfig::sample_ports`](crate::config::SimConfig) every
+//! `trace_interval`; switches and hosts push event records through the
+//! methods here. Everything is plain `Vec`s so experiments can post-process
+//! freely.
+
+use crate::packet::FlowId;
+use crate::topology::NodeId;
+use lossless_flowctl::SimTime;
+use std::collections::HashMap;
+use tcd_core::{CodePoint, TernaryState};
+
+/// One periodic sample of an egress (port, priority).
+#[derive(Debug, Clone, Copy)]
+pub struct PortSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Node.
+    pub node: NodeId,
+    /// Egress port.
+    pub port: u16,
+    /// Priority / VL.
+    pub prio: u8,
+    /// Queue length in bytes (CEE: egress queue; IB: VoQ backlog destined
+    /// to this output).
+    pub queue_bytes: u64,
+    /// Cumulative data bytes transmitted by this egress (diff successive
+    /// samples for the sending rate).
+    pub tx_bytes: u64,
+    /// Detector's current belief about the port state.
+    pub state: TernaryState,
+    /// Whether the egress is currently blocked by hop-by-hop flow control.
+    pub paused: bool,
+}
+
+/// A packet-marking event at a switch (optional, can be voluminous).
+#[derive(Debug, Clone, Copy)]
+pub struct MarkEvent {
+    /// When.
+    pub t: SimTime,
+    /// Marking node.
+    pub node: NodeId,
+    /// Egress port.
+    pub port: u16,
+    /// The flow whose packet was marked.
+    pub flow: FlowId,
+    /// The code point applied.
+    pub code: CodePoint,
+}
+
+/// Delivery statistics of one flow, accumulated at the destination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Delivered {
+    /// Data packets delivered.
+    pub pkts: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Packets that arrived with CE.
+    pub ce: u64,
+    /// Packets that arrived with UE.
+    pub ue: u64,
+}
+
+/// Lifecycle record of one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Start time (when the flow became active at the source).
+    pub start: SimTime,
+    /// Completion time (last byte delivered), if it finished.
+    pub end: Option<SimTime>,
+    /// Delivery statistics.
+    pub delivered: Delivered,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if finished.
+    pub fn fct(&self) -> Option<lossless_flowctl::SimDuration> {
+        self.end.map(|e| e.saturating_since(self.start))
+    }
+}
+
+/// One logged data-packet delivery (only when `record_deliveries` is on).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryEvent {
+    /// Arrival time at the destination.
+    pub t: SimTime,
+    /// The flow.
+    pub flow: FlowId,
+    /// Final code point carried by the packet.
+    pub code: CodePoint,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// All measurements of one run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Periodic port samples (only for configured `sample_ports`).
+    pub port_samples: Vec<PortSample>,
+    /// Individual marking events (only when `record_marks` is on).
+    pub marks: Vec<MarkEvent>,
+    /// Whether to record individual [`MarkEvent`]s.
+    pub record_marks: bool,
+    /// Individual delivery events (only when `record_deliveries` is on).
+    pub deliveries: Vec<DeliveryEvent>,
+    /// Whether to record individual [`DeliveryEvent`]s.
+    pub record_deliveries: bool,
+    /// Per-flow lifecycle records, indexed by `FlowId.0`.
+    pub flows: Vec<FlowRecord>,
+    /// Number of flows that have completed.
+    pub completed_count: usize,
+    /// Total PAUSE frames sent (CEE) across the network.
+    pub pause_frames: u64,
+    /// Total data packets forwarded by switches.
+    pub forwarded_pkts: u64,
+    /// Packets dropped (lossy mode only; always 0 in lossless modes).
+    pub drops: u64,
+}
+
+impl Trace {
+    /// Fresh, empty trace.
+    pub fn new(record_marks: bool) -> Self {
+        Trace { record_marks, ..Default::default() }
+    }
+
+    /// Record a marking decision at a switch egress.
+    #[inline]
+    pub fn on_mark(&mut self, t: SimTime, node: NodeId, port: u16, flow: FlowId, code: CodePoint) {
+        if self.record_marks {
+            self.marks.push(MarkEvent { t, node, port, flow, code });
+        }
+    }
+
+    /// Record delivery of a data packet at its destination. (`t` is only
+    /// consulted when `record_deliveries` is on.)
+    pub fn on_deliver_at(&mut self, t: SimTime, flow: FlowId, bytes: u64, code: CodePoint) {
+        let rec = &mut self.flows[flow.0 as usize];
+        rec.delivered.pkts += 1;
+        rec.delivered.bytes += bytes;
+        match code {
+            CodePoint::CongestionEncountered => rec.delivered.ce += 1,
+            CodePoint::UndeterminedEncountered => rec.delivered.ue += 1,
+            _ => {}
+        }
+        if self.record_deliveries {
+            self.deliveries.push(DeliveryEvent { t, flow, code, bytes });
+        }
+    }
+
+    /// Record delivery of a data packet at its destination (untimed form
+    /// used by unit tests).
+    pub fn on_deliver(&mut self, flow: FlowId, bytes: u64, code: CodePoint) {
+        self.on_deliver_at(SimTime::ZERO, flow, bytes, code);
+    }
+
+    /// Record a flow's completion.
+    pub fn on_complete(&mut self, flow: FlowId, t: SimTime) {
+        let rec = &mut self.flows[flow.0 as usize];
+        debug_assert!(rec.end.is_none(), "flow {flow:?} completed twice");
+        rec.end = Some(t);
+        self.completed_count += 1;
+    }
+
+    /// Flows that finished, as records.
+    pub fn completed(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter(|f| f.end.is_some())
+    }
+
+    /// Per-flow CE-marked fraction of delivered packets (paper Table 3 /
+    /// Fig. 11 metric).
+    pub fn ce_fraction(&self, flow: FlowId) -> f64 {
+        let d = &self.flows[flow.0 as usize].delivered;
+        if d.pkts == 0 {
+            0.0
+        } else {
+            d.ce as f64 / d.pkts as f64
+        }
+    }
+
+    /// Per-flow UE-marked fraction of delivered packets.
+    pub fn ue_fraction(&self, flow: FlowId) -> f64 {
+        let d = &self.flows[flow.0 as usize].delivered;
+        if d.pkts == 0 {
+            0.0
+        } else {
+            d.ue as f64 / d.pkts as f64
+        }
+    }
+
+    /// Samples of one `(node, port, prio)` egress, in time order.
+    pub fn samples_of(&self, node: NodeId, port: u16, prio: u8) -> Vec<&PortSample> {
+        self.port_samples
+            .iter()
+            .filter(|s| s.node == node && s.port == port && s.prio == prio)
+            .collect()
+    }
+
+    /// Summary map flow → delivered stats (convenience for experiments).
+    pub fn delivered_map(&self) -> HashMap<FlowId, Delivered> {
+        self.flows.iter().map(|f| (f.flow, f.delivered)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32) -> FlowRecord {
+        FlowRecord {
+            flow: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 10_000,
+            start: SimTime::from_us(5),
+            end: None,
+            delivered: Delivered::default(),
+        }
+    }
+
+    #[test]
+    fn delivery_accounting() {
+        let mut tr = Trace::new(false);
+        tr.flows.push(rec(0));
+        tr.on_deliver(FlowId(0), 1000, CodePoint::Capable);
+        tr.on_deliver(FlowId(0), 1000, CodePoint::CE);
+        tr.on_deliver(FlowId(0), 1000, CodePoint::UE);
+        tr.on_deliver(FlowId(0), 1000, CodePoint::CE);
+        let d = tr.flows[0].delivered;
+        assert_eq!(d.pkts, 4);
+        assert_eq!(d.bytes, 4000);
+        assert_eq!(d.ce, 2);
+        assert_eq!(d.ue, 1);
+        assert!((tr.ce_fraction(FlowId(0)) - 0.5).abs() < 1e-12);
+        assert!((tr.ue_fraction(FlowId(0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_and_fct() {
+        let mut tr = Trace::new(false);
+        tr.flows.push(rec(0));
+        assert_eq!(tr.completed().count(), 0);
+        tr.on_complete(FlowId(0), SimTime::from_us(105));
+        assert_eq!(tr.completed().count(), 1);
+        let fct = tr.flows[0].fct().unwrap();
+        assert_eq!(fct, lossless_flowctl::SimDuration::from_us(100));
+    }
+
+    #[test]
+    fn mark_recording_is_optional() {
+        let mut off = Trace::new(false);
+        off.flows.push(rec(0));
+        off.on_mark(SimTime::ZERO, NodeId(0), 0, FlowId(0), CodePoint::CE);
+        assert!(off.marks.is_empty());
+        let mut on = Trace::new(true);
+        on.flows.push(rec(0));
+        on.on_mark(SimTime::ZERO, NodeId(0), 0, FlowId(0), CodePoint::CE);
+        assert_eq!(on.marks.len(), 1);
+    }
+
+    #[test]
+    fn empty_flow_fractions_are_zero() {
+        let mut tr = Trace::new(false);
+        tr.flows.push(rec(0));
+        assert_eq!(tr.ce_fraction(FlowId(0)), 0.0);
+        assert_eq!(tr.ue_fraction(FlowId(0)), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The lossy-Ethernet baseline: drop-tail switches + go-back-N transport.
+//! These tests pin the reliability machinery and the premise the paper
+//! starts from — losing packets costs far more time than pausing.
+
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_netsim::cchooks::FixedRate;
+use lossless_netsim::config::SimConfig;
+use lossless_netsim::routing::RouteSelect;
+use lossless_netsim::topology::{dumbbell, figure2, Figure2Options};
+use lossless_netsim::Simulator;
+
+#[test]
+fn uncontended_lossy_flow_behaves_like_lossless() {
+    // No contention, no drops: the reliable transport adds no overhead.
+    let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
+    let cfg = SimConfig::lossy_baseline(SimTime::from_ms(10), 200 * 1024);
+    let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::Ecmp);
+    let size = 2_000_000u64;
+    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    sim.run();
+    assert_eq!(sim.trace.drops, 0);
+    let rec = &sim.trace.flows[f.0 as usize];
+    assert_eq!(rec.delivered.bytes, size);
+    let fct = rec.fct().unwrap();
+    let ideal = Rate::from_gbps(40).serialize_time(size);
+    assert!(fct.as_ps() < ideal.as_ps() * 105 / 100 + 20_000_000);
+}
+
+#[test]
+fn overload_drops_but_reliability_recovers_everything() {
+    // 4:1 incast into a small drop-tail buffer: drops are inevitable, yet
+    // go-back-N delivers every byte exactly once.
+    let f2 = figure2(Figure2Options::default());
+    let cfg = SimConfig::lossy_baseline(SimTime::from_ms(100), 100 * 1024);
+    let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
+    let size = 500_000u64;
+    let flows: Vec<_> = f2
+        .bursters
+        .iter()
+        .take(4)
+        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .collect();
+    sim.run();
+    assert!(sim.trace.drops > 0, "a 4:1 incast into 100KB must drop");
+    for f in &flows {
+        let rec = &sim.trace.flows[f.0 as usize];
+        assert!(rec.end.is_some(), "flow {f:?} never completed");
+        assert_eq!(rec.delivered.bytes, size, "exactly-once delivery violated");
+    }
+}
+
+#[test]
+fn lossless_beats_lossy_tail_under_incast() {
+    // The paper's premise (§1): with the same offered load, the lossless
+    // fabric completes the incast far sooner than the lossy one, whose
+    // stragglers pay retransmission timeouts.
+    let run = |lossless: bool| -> f64 {
+        let f2 = figure2(Figure2Options::default());
+        let cfg = if lossless {
+            let mut c = SimConfig::cee_baseline(SimTime::from_ms(100));
+            c.detector = lossless_netsim::config::DetectorKind::None;
+            c
+        } else {
+            SimConfig::lossy_baseline(SimTime::from_ms(100), 100 * 1024)
+        };
+        let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
+        let size = 500_000u64;
+        let flows: Vec<_> = f2
+            .bursters
+            .iter()
+            .take(8)
+            .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+            .collect();
+        sim.run();
+        flows
+            .iter()
+            .map(|f| sim.trace.flows[f.0 as usize].fct().expect("completes").as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    let lossless_tail = run(true);
+    let lossy_tail = run(false);
+    assert!(
+        lossy_tail > lossless_tail * 1.5,
+        "lossy tail {lossy_tail:.6}s should far exceed lossless {lossless_tail:.6}s"
+    );
+}
+
+#[test]
+fn duplicate_deliveries_are_never_counted() {
+    // Force heavy loss; the receiver must count each byte exactly once
+    // even though the sender retransmits ranges repeatedly.
+    let f2 = figure2(Figure2Options::default());
+    let cfg = SimConfig::lossy_baseline(SimTime::from_ms(200), 50 * 1024);
+    let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
+    let size = 300_000u64;
+    let flows: Vec<_> = f2
+        .bursters
+        .iter()
+        .take(6)
+        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .collect();
+    sim.run();
+    assert!(sim.trace.drops > 0);
+    for f in &flows {
+        let rec = &sim.trace.flows[f.0 as usize];
+        assert_eq!(rec.delivered.bytes, size, "byte counted twice or lost");
+        assert!(rec.end.is_some());
+    }
+}

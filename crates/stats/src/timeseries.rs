@@ -1,0 +1,109 @@
+//! Timeseries helpers: turn the simulator's cumulative port samples into
+//! sending-rate series (the Figures 3/4/12/13/20 plots).
+
+use lossless_flowctl::SimTime;
+
+/// One point of a rate series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Interval end time.
+    pub t: SimTime,
+    /// Average sending rate over the preceding interval, in Gbit/s.
+    pub gbps: f64,
+}
+
+/// Differentiate cumulative `(t, tx_bytes)` samples into per-interval
+/// rates. Consecutive samples with non-increasing time are skipped.
+pub fn rate_series(samples: &[(SimTime, u64)]) -> Vec<RatePoint> {
+    let mut out = Vec::new();
+    for w in samples.windows(2) {
+        let (t0, b0) = w[0];
+        let (t1, b1) = w[1];
+        if t1 <= t0 {
+            continue;
+        }
+        let dt = t1.saturating_since(t0).as_secs_f64();
+        let db = b1.saturating_sub(b0) as f64;
+        out.push(RatePoint { t: t1, gbps: db * 8.0 / dt / 1e9 });
+    }
+    out
+}
+
+/// Downsample a series of `(t, value)` to at most `n` evenly spaced points
+/// (keeping the first and last); used when printing long traces as a table.
+pub fn downsample<T: Copy>(series: &[T], n: usize) -> Vec<T> {
+    assert!(n >= 2, "need at least the endpoints");
+    if series.len() <= n {
+        return series.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = i * (series.len() - 1) / (n - 1);
+        out.push(series[idx]);
+    }
+    out
+}
+
+/// The fraction of intervals during which the port was actively sending at
+/// more than `threshold_gbps` — a crude ON-fraction measure for rate plots.
+pub fn on_fraction(rates: &[RatePoint], threshold_gbps: f64) -> f64 {
+    if rates.is_empty() {
+        return 0.0;
+    }
+    rates.iter().filter(|r| r.gbps > threshold_gbps).count() as f64 / rates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differentiation() {
+        // 5000 bytes over 1 µs = 40 Gbps.
+        let s = vec![
+            (SimTime::from_us(0), 0u64),
+            (SimTime::from_us(1), 5_000),
+            (SimTime::from_us(2), 5_000),
+            (SimTime::from_us(3), 10_000),
+        ];
+        let r = rate_series(&s);
+        assert_eq!(r.len(), 3);
+        assert!((r[0].gbps - 40.0).abs() < 1e-9);
+        assert!((r[1].gbps - 0.0).abs() < 1e-9);
+        assert!((r[2].gbps - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_timestamps_skipped() {
+        let s = vec![
+            (SimTime::from_us(1), 0u64),
+            (SimTime::from_us(1), 100),
+            (SimTime::from_us(2), 5_100),
+        ];
+        let r = rate_series(&s);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn downsampling_keeps_endpoints() {
+        let series: Vec<u32> = (0..1000).collect();
+        let d = downsample(&series, 11);
+        assert_eq!(d.len(), 11);
+        assert_eq!(d[0], 0);
+        assert_eq!(*d.last().unwrap(), 999);
+        let short = downsample(&series[..5], 11);
+        assert_eq!(short.len(), 5);
+    }
+
+    #[test]
+    fn on_fraction_counts_active_intervals() {
+        let r = vec![
+            RatePoint { t: SimTime::from_us(1), gbps: 40.0 },
+            RatePoint { t: SimTime::from_us(2), gbps: 0.0 },
+            RatePoint { t: SimTime::from_us(3), gbps: 40.0 },
+            RatePoint { t: SimTime::from_us(4), gbps: 0.0 },
+        ];
+        assert!((on_fraction(&r, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(on_fraction(&[], 1.0), 0.0);
+    }
+}

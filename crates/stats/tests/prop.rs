@@ -1,0 +1,76 @@
+//! Property-based tests of the statistics utilities.
+
+use lossless_flowctl::SimTime;
+use lossless_stats::fct::SizeBuckets;
+use lossless_stats::timeseries::{downsample, rate_series};
+use lossless_stats::{mean, percentile};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles lie within [min, max] and are monotone in p.
+    #[test]
+    fn percentile_bounds_and_monotonicity(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = percentile(&values, p).unwrap();
+            prop_assert!(v >= min && v <= max);
+            prop_assert!(v >= prev, "percentile not monotone at p={p}");
+            prev = v;
+        }
+    }
+
+    /// The mean lies within [min, max].
+    #[test]
+    fn mean_within_range(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let m = mean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    /// Size buckets partition: every size maps to exactly one bucket, and
+    /// grouping preserves the total count.
+    #[test]
+    fn buckets_partition(sizes in proptest::collection::vec(0u64..100_000_000, 0..300)) {
+        let b = SizeBuckets::hadoop_buckets();
+        let flows: Vec<(u64, f64)> = sizes.iter().map(|&s| (s, 1.0)).collect();
+        let groups = b.group(&flows);
+        prop_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), flows.len());
+        for &s in &sizes {
+            prop_assert!(b.index(s) < b.len());
+        }
+    }
+
+    /// Differentiating a non-decreasing cumulative byte counter never
+    /// yields a negative rate.
+    #[test]
+    fn rate_series_is_non_negative(increments in proptest::collection::vec((1u64..100, 0u64..1_000_000), 2..100)) {
+        let mut t = 0u64;
+        let mut bytes = 0u64;
+        let mut samples = Vec::new();
+        for (dt, db) in increments {
+            t += dt;
+            bytes += db;
+            samples.push((SimTime::from_us(t), bytes));
+        }
+        let series = rate_series(&samples);
+        prop_assert_eq!(series.len(), samples.len() - 1);
+        for p in &series {
+            prop_assert!(p.gbps >= 0.0);
+        }
+    }
+
+    /// Downsampling keeps endpoints, never exceeds the requested size and
+    /// preserves order.
+    #[test]
+    fn downsample_contract(n in 1usize..2000, k in 2usize..50) {
+        let series: Vec<usize> = (0..n).collect();
+        let d = downsample(&series, k);
+        prop_assert!(d.len() <= n.min(k.max(2)).max(2) || d.len() == n);
+        prop_assert_eq!(d[0], 0);
+        prop_assert_eq!(*d.last().unwrap(), n - 1);
+        prop_assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

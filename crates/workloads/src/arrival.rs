@@ -1,0 +1,122 @@
+//! Poisson flow arrivals targeting an average link load.
+//!
+//! The paper's realistic-workload experiments (§5.2.1: "we adjust the flow
+//! generation rates to set the average link loads to 60%") generate flows
+//! with exponentially distributed inter-arrival times. Given a per-host
+//! link rate, a mean flow size and a target load, the arrival rate per
+//! sender is `λ = load · rate / (8 · mean_size)` flows per second.
+
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use rand::Rng;
+
+/// An exponential inter-arrival generator for one sender.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Mean inter-arrival time in seconds.
+    mean_gap_secs: f64,
+    next: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `lambda` flows per second, starting from `start`.
+    pub fn with_rate(lambda: f64, start: SimTime) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite());
+        PoissonArrivals { mean_gap_secs: 1.0 / lambda, next: start }
+    }
+
+    /// Arrivals sized to keep one sender's link at `load` (0, 1] given its
+    /// line `rate` and the workload's `mean_flow_bytes`.
+    pub fn for_load(load: f64, rate: Rate, mean_flow_bytes: f64, start: SimTime) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        assert!(mean_flow_bytes > 0.0);
+        let lambda = load * rate.as_bps() as f64 / (8.0 * mean_flow_bytes);
+        Self::with_rate(lambda, start)
+    }
+
+    /// The arrival rate in flows per second.
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.mean_gap_secs
+    }
+
+    /// Draw the next arrival instant (strictly after the previous one).
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SimTime {
+        // Inverse-transform exponential: gap = -mean * ln(1 - u).
+        let u: f64 = rng.gen();
+        let gap_secs = -self.mean_gap_secs * (1.0 - u).ln();
+        let gap = SimDuration::from_ps((gap_secs * 1e12).max(1.0) as u64);
+        self.next += gap;
+        self.next
+    }
+
+    /// All arrivals strictly before `end`.
+    pub fn arrivals_until<R: Rng + ?Sized>(&mut self, end: SimTime, rng: &mut R) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival(rng);
+            if t >= end {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambda_from_load() {
+        // 60% of 40 Gbps with 100 KB mean flows: λ = 0.6·40e9/(8·1e5)
+        // = 30000 flows/s.
+        let p = PoissonArrivals::for_load(0.6, Rate::from_gbps(40), 100_000.0, SimTime::ZERO);
+        assert!((p.lambda() - 30_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_gap_matches_lambda() {
+        let mut p = PoissonArrivals::with_rate(10_000.0, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut last = SimTime::ZERO;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let t = p.next_arrival(&mut rng);
+            sum += t.saturating_since(last).as_secs_f64();
+            last = t;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1e-4).abs() / 1e-4 < 0.02, "mean gap {mean}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonArrivals::with_rate(1e6, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = p.arrivals_until(SimTime::from_ms(5), &mut rng);
+        assert!(!ts.is_empty());
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn arrivals_until_respects_bound() {
+        let mut p = PoissonArrivals::with_rate(50_000.0, SimTime::from_us(100));
+        let mut rng = StdRng::seed_from_u64(9);
+        let end = SimTime::from_ms(2);
+        for t in p.arrivals_until(end, &mut rng) {
+            assert!(t < end);
+            assert!(t > SimTime::from_us(100));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_load_rejected() {
+        let _ = PoissonArrivals::for_load(0.0, Rate::from_gbps(40), 1e5, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,173 @@
+//! Synchronized incast bursts — the §3 observation workload and the §5
+//! victim-flow scenarios.
+//!
+//! The paper's burst pattern: hosts A0–A14 send *concurrent* fixed-size
+//! bursts (64 KB in §3) to one receiver. A burst is smaller than the BDP,
+//! so end-to-end congestion control cannot regulate it — the senders
+//! transmit at line rate and only hop-by-hop flow control restrains them.
+//! In §3 the bursting continues for about 3 ms (each sender launches its
+//! next burst back-to-back); in §5 rounds of concurrent bursts arrive with
+//! exponentially distributed inter-arrival gaps.
+
+use lossless_flowctl::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One planned burst: which sender, when, and how many bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Index of the bursting sender (into the experiment's burster list).
+    pub sender: usize,
+    /// Launch time.
+    pub at: SimTime,
+    /// Burst size in bytes.
+    pub bytes: u64,
+}
+
+/// A plan of bursts for a set of senders.
+#[derive(Debug, Clone, Default)]
+pub struct BurstPlan {
+    /// The bursts, sorted by launch time.
+    pub bursts: Vec<Burst>,
+}
+
+impl BurstPlan {
+    /// The §3 pattern: every sender launches `rounds` back-to-back bursts
+    /// of `bytes` starting at `start`. Because each sender's next burst is
+    /// released only as the previous one drains, the launch times here are
+    /// all `start`; the simulator's flow-control naturally serializes them
+    /// — callers register `rounds` consecutive flows per sender (the burst
+    /// data keeps the bottleneck saturated for
+    /// `rounds × senders × bytes / C`).
+    pub fn continuous(senders: usize, rounds: usize, bytes: u64, start: SimTime) -> BurstPlan {
+        let mut bursts = Vec::with_capacity(senders * rounds);
+        for s in 0..senders {
+            for _ in 0..rounds {
+                bursts.push(Burst { sender: s, at: start, bytes });
+            }
+        }
+        BurstPlan { bursts }
+    }
+
+    /// The §5 pattern: rounds of concurrent bursts; all senders launch
+    /// together each round and the gaps between rounds are exponentially
+    /// distributed with mean `mean_gap`.
+    pub fn rounds<R: Rng + ?Sized>(
+        senders: usize,
+        bytes: u64,
+        mean_gap: SimDuration,
+        start: SimTime,
+        end: SimTime,
+        rng: &mut R,
+    ) -> BurstPlan {
+        assert!(mean_gap > SimDuration::ZERO);
+        let mut bursts = Vec::new();
+        let mut t = start;
+        while t < end {
+            for s in 0..senders {
+                bursts.push(Burst { sender: s, at: t, bytes });
+            }
+            let u: f64 = rng.gen();
+            let gap_secs = -mean_gap.as_secs_f64() * (1.0 - u).ln();
+            t += SimDuration::from_ps((gap_secs * 1e12).max(1.0) as u64);
+        }
+        BurstPlan { bursts }
+    }
+
+    /// Total bytes across all bursts.
+    pub fn total_bytes(&self) -> u64 {
+        self.bursts.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Number of bursts.
+    pub fn len(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty()
+    }
+}
+
+/// How many back-to-back 64 KB rounds each of `senders` bursters needs so
+/// that the shared bottleneck (at `bottleneck_gbps`, of which the bursters
+/// get almost all) stays saturated for `duration` — the paper's "bursts
+/// last for about 3 ms".
+pub fn rounds_for_duration(
+    senders: usize,
+    burst_bytes: u64,
+    bottleneck_gbps: u64,
+    duration: SimDuration,
+) -> usize {
+    assert!(senders > 0 && burst_bytes > 0 && bottleneck_gbps > 0);
+    let total_bytes = bottleneck_gbps as f64 * 1e9 / 8.0 * duration.as_secs_f64();
+    let per_sender = total_bytes / senders as f64;
+    (per_sender / burst_bytes as f64).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn continuous_plan_counts() {
+        let p = BurstPlan::continuous(15, 4, 64 * 1024, SimTime::ZERO);
+        assert_eq!(p.len(), 60);
+        assert_eq!(p.total_bytes(), 60 * 64 * 1024);
+        assert!(p.bursts.iter().all(|b| b.at == SimTime::ZERO));
+    }
+
+    #[test]
+    fn paper_burst_duration_sizing() {
+        // 15 senders, 64 KB bursts, 40G bottleneck, 3 ms: each sender gets
+        // ~2.5 Gbps → ~1 MB → ceil(1e6/65536) = 16 rounds.
+        let r = rounds_for_duration(15, 64 * 1024, 40, SimDuration::from_ms(3));
+        assert_eq!(r, 16);
+        // Sanity: total volume drains in ~3 ms at 40G.
+        let total = (15 * r) as f64 * 64.0 * 1024.0;
+        let drain_ms = total * 8.0 / 40e9 * 1e3;
+        assert!((drain_ms - 3.0).abs() < 0.25, "drain {drain_ms} ms");
+    }
+
+    #[test]
+    fn rounds_are_synchronized_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = BurstPlan::rounds(
+            15,
+            64 * 1024,
+            SimDuration::from_us(500),
+            SimTime::ZERO,
+            SimTime::from_ms(10),
+            &mut rng,
+        );
+        assert!(!p.is_empty());
+        // Every distinct launch time must have exactly 15 senders.
+        let mut by_time = std::collections::BTreeMap::new();
+        for b in &p.bursts {
+            assert!(b.at < SimTime::from_ms(10));
+            *by_time.entry(b.at).or_insert(0usize) += 1;
+        }
+        assert!(by_time.values().all(|&n| n == 15));
+        assert!(by_time.len() >= 2, "expect multiple rounds in 10 ms");
+    }
+
+    #[test]
+    fn round_plan_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BurstPlan::rounds(
+                4,
+                64 * 1024,
+                SimDuration::from_us(300),
+                SimTime::ZERO,
+                SimTime::from_ms(5),
+                &mut rng,
+            )
+            .bursts
+        };
+        assert_eq!(gen(1), gen(1));
+        assert_ne!(gen(1), gen(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Empirical CDFs with inverse-transform sampling.
+
+use rand::Rng;
+
+/// A piecewise-linear empirical CDF over byte sizes.
+///
+/// Points are `(value, cumulative probability)` with strictly increasing
+/// values and non-decreasing probabilities ending at 1.0. Sampling draws a
+/// uniform `u ∈ [0, 1)` and interpolates linearly between the surrounding
+/// points (inverse-transform sampling).
+///
+/// ```
+/// use lossless_workloads::EmpiricalCdf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cdf = EmpiricalCdf::new(vec![(1_000, 0.0), (10_000, 1.0)]).unwrap();
+/// assert_eq!(cdf.inverse(0.5), 5_500);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let s = cdf.sample(&mut rng);
+/// assert!((1_000..=10_000).contains(&s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(u64, f64)>,
+}
+
+/// Errors constructing a CDF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdfError {
+    /// Fewer than two points.
+    TooFewPoints,
+    /// Values not strictly increasing.
+    NonIncreasingValues,
+    /// Probabilities not non-decreasing or outside [0, 1].
+    InvalidProbabilities,
+    /// The last probability is not 1.0.
+    DoesNotReachOne,
+}
+
+impl EmpiricalCdf {
+    /// Validate and build a CDF.
+    pub fn new(points: Vec<(u64, f64)>) -> Result<Self, CdfError> {
+        if points.len() < 2 {
+            return Err(CdfError::TooFewPoints);
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(CdfError::NonIncreasingValues);
+            }
+            if w[1].1 < w[0].1 {
+                return Err(CdfError::InvalidProbabilities);
+            }
+        }
+        if points.iter().any(|p| !(0.0..=1.0).contains(&p.1)) {
+            return Err(CdfError::InvalidProbabilities);
+        }
+        if (points.last().unwrap().1 - 1.0).abs() > 1e-12 {
+            return Err(CdfError::DoesNotReachOne);
+        }
+        Ok(EmpiricalCdf { points })
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.inverse(u)
+    }
+
+    /// The value at cumulative probability `u` (the quantile function).
+    pub fn inverse(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.points[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if u <= p1 {
+                if p1 <= p0 {
+                    return v1;
+                }
+                let frac = (u - p0) / (p1 - p0);
+                return v0 + ((v1 - v0) as f64 * frac) as u64;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// The mean of the piecewise-linear distribution, in bytes.
+    pub fn mean(&self) -> f64 {
+        // Expectation of the linear interpolation: the first point carries
+        // its own probability mass; each segment contributes its midpoint
+        // times its probability span.
+        let mut mean = self.points[0].0 as f64 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            mean += (p1 - p0) * (v0 as f64 + v1 as f64) / 2.0;
+        }
+        mean
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> EmpiricalCdf {
+        EmpiricalCdf::new(vec![(1_000, 0.0), (2_000, 0.5), (10_000, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        assert_eq!(EmpiricalCdf::new(vec![(1, 1.0)]).unwrap_err(), CdfError::TooFewPoints);
+        assert_eq!(
+            EmpiricalCdf::new(vec![(5, 0.0), (5, 1.0)]).unwrap_err(),
+            CdfError::NonIncreasingValues
+        );
+        assert_eq!(
+            EmpiricalCdf::new(vec![(1, 0.5), (2, 0.2), (3, 1.0)]).unwrap_err(),
+            CdfError::InvalidProbabilities
+        );
+        assert_eq!(
+            EmpiricalCdf::new(vec![(1, 0.0), (2, 0.9)]).unwrap_err(),
+            CdfError::DoesNotReachOne
+        );
+    }
+
+    #[test]
+    fn inverse_interpolates_linearly() {
+        let c = simple();
+        assert_eq!(c.inverse(0.0), 1_000);
+        assert_eq!(c.inverse(0.25), 1_500);
+        assert_eq!(c.inverse(0.5), 2_000);
+        assert_eq!(c.inverse(0.75), 6_000);
+        assert_eq!(c.inverse(1.0), 10_000);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = c.sample(&mut rng);
+            assert!((1_000..=10_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| c.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        let analytic = c.mean();
+        assert!(
+            (emp - analytic).abs() / analytic < 0.01,
+            "empirical {emp} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = simple();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| c.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn point_mass_at_first_value() {
+        // A CDF whose first point has positive probability puts mass there.
+        let c = EmpiricalCdf::new(vec![(2_000, 0.5), (4_000, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let at_min = (0..n).filter(|_| c.sample(&mut rng) == 2_000).count();
+        let frac = at_min as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "point-mass fraction {frac}");
+    }
+}

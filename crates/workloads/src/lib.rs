@@ -1,0 +1,103 @@
+//! Workload generation for the paper's experiments: empirical flow-size
+//! distributions (Hadoop, WebSearch), HPC message patterns (MPI + I/O),
+//! synchronized incast bursts, and Poisson arrival processes targeting a
+//! given average link load.
+//!
+//! All sampling is driven by caller-seeded [`rand`] generators, so
+//! workloads are exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod burst;
+pub mod cdf;
+pub mod mpi_io;
+
+pub use arrival::PoissonArrivals;
+pub use burst::BurstPlan;
+pub use cdf::EmpiricalCdf;
+pub use mpi_io::{io_message_sizes, mpi_message_cdf};
+
+use cdf::EmpiricalCdf as Cdf;
+
+/// The Facebook Hadoop flow-size distribution (Roy et al., SIGCOMM'15), as
+/// characterized in the paper: heavy-tailed with 90% of flows smaller than
+/// 120 KB. Encoded as a piecewise-linear CDF over flow bytes.
+pub fn hadoop() -> Cdf {
+    Cdf::new(vec![
+        (100, 0.00),
+        (500, 0.15),
+        (1_000, 0.30),
+        (5_000, 0.45),
+        (10_000, 0.55),
+        (30_000, 0.70),
+        (60_000, 0.80),
+        (100_000, 0.875),
+        (120_000, 0.90),
+        (300_000, 0.94),
+        (1_000_000, 0.97),
+        (4_000_000, 0.99),
+        (10_000_000, 1.00),
+    ])
+    .expect("static CDF is valid")
+}
+
+/// The DCTCP WebSearch flow-size distribution (Alizadeh et al.,
+/// SIGCOMM'10), as characterized in the paper: heavier than Hadoop, with
+/// 90% of flows smaller than 5 MB.
+pub fn websearch() -> Cdf {
+    Cdf::new(vec![
+        (6_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (2_667_000, 0.90),
+        (6_667_000, 0.95),
+        (20_000_000, 1.00),
+    ])
+    .expect("static CDF is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hadoop_ninety_percent_below_120kb() {
+        let cdf = hadoop();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let small = (0..n).filter(|_| cdf.sample(&mut rng) <= 120_000).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.90).abs() < 0.02, "Hadoop small fraction {frac}");
+    }
+
+    #[test]
+    fn websearch_ninety_percent_below_5mb() {
+        let cdf = websearch();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let small = (0..n).filter(|_| cdf.sample(&mut rng) <= 5_000_000).count();
+        let frac = small as f64 / n as f64;
+        assert!(frac > 0.90 && frac < 0.97, "WebSearch small fraction {frac}");
+    }
+
+    #[test]
+    fn websearch_is_heavier_than_hadoop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = |cdf: &Cdf, rng: &mut StdRng| {
+            (0..n).map(|_| cdf.sample(rng) as f64).sum::<f64>() / n as f64
+        };
+        let h = mean(&hadoop(), &mut rng);
+        let w = mean(&websearch(), &mut rng);
+        assert!(w > 3.0 * h, "WebSearch mean {w} should dwarf Hadoop mean {h}");
+    }
+}

@@ -1,0 +1,149 @@
+//! HPC message workloads: the MPI + I/O mix of the paper's InfiniBand
+//! experiments (§5.2.2, following Brown et al., ICPP'18).
+//!
+//! * MPI messages: 2–32 KB, with over 50% at 2 KB;
+//! * I/O messages: sizes drawn uniformly from {512 KB, 1 MB, 2 MB, 4 MB};
+//! * placement: per rack, a fixed number of I/O servers receive I/O
+//!   traffic from I/O clients (25% of nodes); the remaining nodes exchange
+//!   MPI traffic.
+
+use crate::cdf::EmpiricalCdf;
+use rand::Rng;
+
+/// The MPI message-size distribution: 2 KB–32 KB, >50% at 2 KB.
+pub fn mpi_message_cdf() -> EmpiricalCdf {
+    EmpiricalCdf::new(vec![
+        (2_048, 0.55),
+        (4_096, 0.70),
+        (8_192, 0.82),
+        (16_384, 0.92),
+        (32_768, 1.00),
+    ])
+    .expect("static CDF is valid")
+}
+
+/// The I/O message sizes of §5.2.2.
+pub fn io_message_sizes() -> [u64; 4] {
+    [512 * 1024, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024]
+}
+
+/// Draw one I/O message size.
+pub fn sample_io_size<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let sizes = io_message_sizes();
+    sizes[rng.gen_range(0..sizes.len())]
+}
+
+/// Role assignment for the HPC scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HpcRole {
+    /// Receives I/O traffic.
+    IoServer,
+    /// Sends I/O messages to I/O servers.
+    IoClient,
+    /// Exchanges MPI messages with other MPI nodes.
+    Mpi,
+}
+
+/// Assign roles to `hosts_per_rack`-sized racks: `io_servers_per_rack`
+/// random I/O servers per rack, then `io_client_frac` of the remaining
+/// nodes as I/O clients, the rest MPI. Returns one role per host, in host
+/// order.
+pub fn assign_roles<R: Rng + ?Sized>(
+    n_hosts: usize,
+    hosts_per_rack: usize,
+    io_servers_per_rack: usize,
+    io_client_frac: f64,
+    rng: &mut R,
+) -> Vec<HpcRole> {
+    assert!(hosts_per_rack > 0 && io_servers_per_rack <= hosts_per_rack);
+    assert!((0.0..=1.0).contains(&io_client_frac));
+    let mut roles = vec![HpcRole::Mpi; n_hosts];
+    // Per-rack I/O servers.
+    let mut rack_start = 0;
+    while rack_start < n_hosts {
+        let rack_end = (rack_start + hosts_per_rack).min(n_hosts);
+        let rack = rack_end - rack_start;
+        let servers = io_servers_per_rack.min(rack);
+        // Sample distinct in-rack offsets.
+        let mut chosen = Vec::with_capacity(servers);
+        while chosen.len() < servers {
+            let off = rng.gen_range(0..rack);
+            if !chosen.contains(&off) {
+                chosen.push(off);
+            }
+        }
+        for off in chosen {
+            roles[rack_start + off] = HpcRole::IoServer;
+        }
+        rack_start = rack_end;
+    }
+    // I/O clients among the rest.
+    for r in roles.iter_mut() {
+        if *r == HpcRole::Mpi && rng.gen::<f64>() < io_client_frac {
+            *r = HpcRole::IoClient;
+        }
+    }
+    roles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mpi_sizes_in_range_with_2kb_majority() {
+        let cdf = mpi_message_cdf();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut at_2k = 0;
+        for _ in 0..n {
+            let s = cdf.sample(&mut rng);
+            assert!((2_048..=32_768).contains(&s));
+            if s == 2_048 {
+                at_2k += 1;
+            }
+        }
+        let frac = at_2k as f64 / n as f64;
+        assert!(frac > 0.5, "over 50% of MPI messages are 2KB, got {frac}");
+    }
+
+    #[test]
+    fn io_sizes_are_the_four_paper_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let allowed = io_message_sizes();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let s = sample_io_size(&mut rng);
+            assert!(allowed.contains(&s));
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 4, "all four sizes should appear");
+    }
+
+    #[test]
+    fn role_assignment_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 64 hosts in racks of 8, 4 I/O servers per rack, 25% clients.
+        let roles = assign_roles(64, 8, 4, 0.25, &mut rng);
+        assert_eq!(roles.len(), 64);
+        for rack in roles.chunks(8) {
+            let servers = rack.iter().filter(|r| **r == HpcRole::IoServer).count();
+            assert_eq!(servers, 4, "exactly 4 I/O servers per rack");
+        }
+        let clients = roles.iter().filter(|r| **r == HpcRole::IoClient).count();
+        let non_servers = 64 - 32;
+        let frac = clients as f64 / non_servers as f64;
+        assert!(frac > 0.05 && frac < 0.5, "client fraction {frac}");
+    }
+
+    #[test]
+    fn partial_last_rack_is_handled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let roles = assign_roles(10, 8, 4, 0.0, &mut rng);
+        // Second rack has 2 hosts; both can be servers at most.
+        let servers_last = roles[8..].iter().filter(|r| **r == HpcRole::IoServer).count();
+        assert!(servers_last <= 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the workload generators.
+
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_workloads::burst::{rounds_for_duration, BurstPlan};
+use lossless_workloads::{hadoop, websearch, EmpiricalCdf, PoissonArrivals};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The quantile function is monotone and stays inside the support.
+    #[test]
+    fn cdf_inverse_is_monotone(points in proptest::collection::vec(1u64..10_000_000, 2..12)) {
+        let mut vals: Vec<u64> = points;
+        vals.sort_unstable();
+        vals.dedup();
+        if vals.len() < 2 { return Ok(()); }
+        let n = vals.len();
+        let pts: Vec<(u64, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect();
+        let cdf = EmpiricalCdf::new(pts.clone()).unwrap();
+        let lo = pts[0].0;
+        let hi = pts[n - 1].0;
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let u = i as f64 / 20.0;
+            let v = cdf.inverse(u);
+            prop_assert!(v >= lo && v <= hi, "quantile outside support");
+            prop_assert!(v >= prev, "quantile not monotone");
+            prev = v;
+        }
+    }
+
+    /// Samples always fall inside the distribution's support.
+    #[test]
+    fn samples_within_support(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cdf in [hadoop(), websearch()] {
+            let lo = cdf.points().first().unwrap().0;
+            let hi = cdf.points().last().unwrap().0;
+            for _ in 0..200 {
+                let s = cdf.sample(&mut rng);
+                prop_assert!(s >= lo && s <= hi);
+            }
+        }
+    }
+
+    /// Poisson arrivals are strictly increasing and roughly match the
+    /// requested rate over many draws.
+    #[test]
+    fn poisson_rate_is_respected(lambda_k in 1u64..50, seed in any::<u64>()) {
+        let lambda = lambda_k as f64 * 1000.0;
+        let mut arr = PoissonArrivals::with_rate(lambda, SimTime::ZERO);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2000usize;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            let t = arr.next_arrival(&mut rng);
+            prop_assert!(t > last);
+            last = t;
+        }
+        let measured = n as f64 / last.as_secs_f64();
+        prop_assert!((measured - lambda).abs() / lambda < 0.15,
+            "measured {measured} vs requested {lambda}");
+    }
+
+    /// Burst plans: every round is fully synchronized and within bounds.
+    #[test]
+    fn burst_rounds_synchronized(senders in 1usize..20, gap_us in 50u64..2000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let end = SimTime::from_ms(20);
+        let plan = BurstPlan::rounds(senders, 64 * 1024, SimDuration::from_us(gap_us), SimTime::ZERO, end, &mut rng);
+        let mut by_time = std::collections::BTreeMap::new();
+        for b in &plan.bursts {
+            prop_assert!(b.at < end);
+            prop_assert!(b.sender < senders);
+            *by_time.entry(b.at).or_insert(0usize) += 1;
+        }
+        prop_assert!(by_time.values().all(|&c| c == senders));
+    }
+
+    /// rounds_for_duration produces enough volume to cover the duration,
+    /// without wild oversizing.
+    #[test]
+    fn burst_sizing_covers_duration(senders in 1usize..32, gbps in 10u64..100, ms in 1u64..10) {
+        let dur = SimDuration::from_ms(ms);
+        let rounds = rounds_for_duration(senders, 64 * 1024, gbps, dur);
+        let volume_bits = (senders * rounds) as f64 * 64.0 * 1024.0 * 8.0;
+        let needed_bits = gbps as f64 * 1e9 * dur.as_secs_f64();
+        prop_assert!(volume_bits >= needed_bits * 0.999, "undersized burst plan");
+        let slack = (senders * 64 * 1024) as f64 * 8.0;
+        prop_assert!(volume_bits <= needed_bits + slack + 1.0);
+    }
+
+    /// Rate arithmetic: serialize_time and bytes_in are inverse-consistent
+    /// for whole-byte amounts.
+    #[test]
+    fn rate_roundtrip(gbps in 1u64..400, bytes in 1u64..10_000_000) {
+        let r = Rate::from_gbps(gbps);
+        let d = r.serialize_time(bytes);
+        let back = r.bytes_in(d);
+        prop_assert!(back >= bytes.saturating_sub(1) && back <= bytes + 1);
+    }
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper. Outputs land in results/.
+# Pass --full to run the paper-scale workloads (slow); default is CI-sized.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE_ARGS=("$@")
+BINS=(
+  fig00_lossless_motivation
+  fig03_single_cp
+  fig04_multi_cp
+  fig08_ton_surface
+  fig10_on_periods
+  fig11_testbed
+  fig12_tcd_single_cp
+  fig13_tcd_multi_cp
+  tab3_victim_flows
+  fig14_epsilon_sensitivity
+  fig15_dcqcn_victim
+  fig16_dcqcn_workloads
+  fig17_ibcc_mct
+  fig18_timely_victim
+  fig19_timely_workloads
+  fig20_fairness
+  abl_design_choices
+)
+cargo build --release -p tcd-bench
+mkdir -p results
+for b in "${BINS[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p tcd-bench --bin "$b" -- "${SCALE_ARGS[@]}" | tee "results/$b.txt"
+done
+echo "all experiment outputs written to results/"

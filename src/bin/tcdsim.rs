@@ -1,0 +1,232 @@
+//! `tcdsim` — command-line front end for the TCD reproduction.
+//!
+//! ```console
+//! $ tcdsim observe --network cee --multi-cp --tcd
+//! $ tcdsim victim --network ib --tcd --csv out/
+//! $ tcdsim fairness --cc timely
+//! $ tcdsim trees --at-ms 1.0
+//! ```
+//!
+//! Each subcommand drives one of the shared scenarios and prints a compact
+//! report; `--csv <dir>` additionally dumps the raw port samples and flow
+//! outcomes for external plotting.
+
+use std::process::exit;
+use tcd_repro::flowctl::SimTime;
+use tcd_repro::netsim::cchooks::FixedRate;
+use tcd_repro::report;
+use tcd_repro::scenarios::{self, observation, victim, Cc, CcAlgo, Network};
+use tcd_repro::tcd::tree;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tcdsim <command> [options]
+
+commands:
+  observe    the paper's single/multi congestion point scenario (Figs. 3/4/12/13)
+  victim     the head-of-line victim scenario (Table 3)
+  fairness   the fairness scenario (Fig. 20)
+  trees      reconstruct congestion trees mid-incast (Fig. 5)
+
+common options:
+  --network cee|ib     (default cee)
+  --tcd                use the TCD detector (default: binary baseline)
+  --seed N             (default 1)
+  --csv DIR            dump port samples + flow outcomes as CSV
+
+observe options:   --multi-cp
+fairness options:  --cc dcqcn|timely|ibcc   (default dcqcn)
+trees options:     --at-ms F                (default 1.0)"
+    );
+    exit(2)
+}
+
+struct Args {
+    cmd: String,
+    network: Network,
+    tcd: bool,
+    multi_cp: bool,
+    seed: u64,
+    csv: Option<String>,
+    cc: CcAlgo,
+    at_ms: f64,
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let Some(cmd) = argv.get(1).cloned() else { usage() };
+    let mut a = Args {
+        cmd,
+        network: Network::Cee,
+        tcd: false,
+        multi_cp: false,
+        seed: 1,
+        csv: None,
+        cc: CcAlgo::Dcqcn,
+        at_ms: 1.0,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--network" => {
+                a.network = match argv.get(i + 1).map(String::as_str) {
+                    Some("cee") => Network::Cee,
+                    Some("ib") => Network::Ib,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--tcd" => {
+                a.tcd = true;
+                i += 1;
+            }
+            "--multi-cp" => {
+                a.multi_cp = true;
+                i += 1;
+            }
+            "--seed" => {
+                a.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--csv" => {
+                a.csv = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--cc" => {
+                a.cc = match argv.get(i + 1).map(String::as_str) {
+                    Some("dcqcn") => CcAlgo::Dcqcn,
+                    Some("timely") => CcAlgo::Timely,
+                    Some("ibcc") => CcAlgo::IbCc,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--at-ms" => {
+                a.at_ms = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn dump_csv(sim: &tcd_repro::netsim::Simulator, dir: &str, tag: &str) {
+    let ports = format!("{dir}/{tag}_ports.csv");
+    let flows = format!("{dir}/{tag}_flows.csv");
+    report::write_port_samples_csv(sim, &ports).expect("write ports csv");
+    report::write_flows_csv(sim, &flows).expect("write flows csv");
+    println!("wrote {ports} and {flows}");
+}
+
+fn cmd_observe(a: &Args) {
+    let r = observation::run(observation::Options {
+        network: a.network,
+        multi_cp: a.multi_cp,
+        use_tcd: a.tcd,
+        ..Default::default()
+    });
+    let mut t = report::Table::new(vec!["flow", "pkts", "CE", "UE"]);
+    for (name, f) in [("F0", r.f0), ("F1", r.f1), ("F2", r.f2)] {
+        let d = r.sim.trace.flows[f.0 as usize].delivered;
+        t.row(vec![name.to_string(), d.pkts.to_string(), d.ce.to_string(), d.ue.to_string()]);
+    }
+    t.print();
+    println!("PAUSE frames: {}", r.sim.trace.pause_frames);
+    if let Some(dir) = &a.csv {
+        dump_csv(&r.sim, dir, "observe");
+    }
+}
+
+fn cmd_victim(a: &Args) {
+    let r = victim::run(victim::Options {
+        network: a.network,
+        use_tcd: a.tcd,
+        seed: a.seed,
+        ..Default::default()
+    });
+    let flagged = r
+        .victims
+        .iter()
+        .filter(|f| r.sim.trace.flows[f.0 as usize].delivered.ce > 0)
+        .count();
+    println!(
+        "victims: {} | CE-flagged: {flagged} ({:.1}%) | mean victim FCT: {:.1} us",
+        r.victims.len(),
+        100.0 * r.victim_ce_fraction(),
+        r.victim_mean_fct().unwrap_or(0.0) * 1e6
+    );
+    if let Some(dir) = &a.csv {
+        dump_csv(&r.sim, dir, "victim");
+    }
+}
+
+fn cmd_fairness(a: &Args) {
+    let cc = Cc { algo: a.cc, tcd: true };
+    let r = scenarios::fairness::run(cc, SimTime::from_ms(20));
+    let last: Vec<String> = r
+        .b_flows
+        .iter()
+        .map(|f| {
+            let d = r.sim.trace.flows[f.0 as usize].delivered.bytes;
+            format!("{:.2} MB", d as f64 / 1e6)
+        })
+        .collect();
+    println!("B-flow delivered volumes after 20 ms: {}", last.join(" / "));
+    if let Some(dir) = &a.csv {
+        dump_csv(&r.sim, dir, "fairness");
+    }
+}
+
+fn cmd_trees(a: &Args) {
+    use tcd_repro::netsim::routing::RouteSelect;
+    use tcd_repro::netsim::topology::figure2;
+    use tcd_repro::netsim::Simulator;
+
+    let fig = figure2(Default::default());
+    let cc = Cc {
+        algo: if a.network == Network::Ib { CcAlgo::IbCc } else { CcAlgo::Dcqcn },
+        tcd: true,
+    };
+    let mut cfg = scenarios::default_config(a.network, true, SimTime::from_ms(6));
+    cfg.feedback = cc.feedback();
+    cfg.seed = a.seed;
+    let select = match a.network {
+        Network::Cee => RouteSelect::Ecmp,
+        Network::Ib => RouteSelect::DModK,
+    };
+    let mut sim = Simulator::new(fig.topo.clone(), cfg, select);
+    sim.add_flow(fig.s1, fig.r1, 40_000_000, SimTime::ZERO, cc.controller());
+    for &x in &fig.bursters {
+        sim.add_flow(x, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    }
+    sim.run_until(SimTime::from_ps((a.at_ms * 1e9) as u64));
+    let snap = sim.congestion_snapshot(sim.config().data_prio);
+    let ts = tree::trees(&snap);
+    println!("congestion trees at {} ms: {}", a.at_ms, ts.len());
+    for t in &ts {
+        let node = t.root >> 16;
+        let port = t.root & 0xffff;
+        println!(
+            "  root {} port {port} | {} leaves | depth {}",
+            sim.topology().name(tcd_repro::netsim::NodeId(node as u32)),
+            t.leaves.len(),
+            t.depth(&snap)
+        );
+    }
+    let bad = tree::inconsistent_leaves(&snap);
+    if !bad.is_empty() {
+        println!("inconsistent leaves: {bad:?}");
+    }
+}
+
+fn main() {
+    let a = parse();
+    match a.cmd.as_str() {
+        "observe" => cmd_observe(&a),
+        "victim" => cmd_victim(&a),
+        "fairness" => cmd_fairness(&a),
+        "trees" => cmd_trees(&a),
+        _ => usage(),
+    }
+}

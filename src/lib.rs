@@ -1,0 +1,16 @@
+//! Umbrella crate for the TCD reproduction.
+//!
+//! Re-exports the workspace's crates and provides the shared experiment
+//! scenario builders ([`scenarios`]) and plain-text reporting helpers
+//! ([`report`]) used by the examples, the integration tests and the
+//! per-figure experiment binaries in `crates/bench`.
+
+pub use lossless_cc as cc;
+pub use lossless_flowctl as flowctl;
+pub use lossless_netsim as netsim;
+pub use lossless_stats as stats;
+pub use lossless_workloads as workloads;
+pub use tcd_core as tcd;
+
+pub mod report;
+pub mod scenarios;

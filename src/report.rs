@@ -1,0 +1,226 @@
+//! Plain-text reporting helpers: aligned tables and timeseries printing
+//! shared by the experiment binaries.
+
+use lossless_flowctl::SimTime;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                s.push_str(&cells[i]);
+                s.push_str(&" ".repeat(pad));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a time in milliseconds.
+pub fn ms(t: SimTime) -> String {
+    format!("{:.3}", t.as_ms_f64())
+}
+
+/// Print a standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("== {id}: {title} ==");
+}
+
+/// Dump a run's sampled port series to CSV (one row per sample).
+pub fn write_port_samples_csv(
+    sim: &lossless_netsim::Simulator,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    lossless_stats::export::write_csv(
+        path,
+        &["t_us", "node", "port", "prio", "queue_bytes", "tx_bytes", "state", "paused"],
+        sim.trace.port_samples.iter().map(|s| {
+            vec![
+                format!("{:.3}", s.t.as_us_f64()),
+                s.node.0.to_string(),
+                s.port.to_string(),
+                s.prio.to_string(),
+                s.queue_bytes.to_string(),
+                s.tx_bytes.to_string(),
+                s.state.symbol().to_string(),
+                (s.paused as u8).to_string(),
+            ]
+        }),
+    )
+}
+
+/// Dump per-flow outcomes (size, FCT, marks) to CSV.
+pub fn write_flows_csv(
+    sim: &lossless_netsim::Simulator,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    lossless_stats::export::write_csv(
+        path,
+        &["flow", "src", "dst", "size", "start_us", "fct_us", "pkts", "ce", "ue"],
+        sim.trace.flows.iter().map(|f| {
+            vec![
+                f.flow.0.to_string(),
+                f.src.0.to_string(),
+                f.dst.0.to_string(),
+                f.size.to_string(),
+                format!("{:.3}", f.start.as_us_f64()),
+                f.fct().map(|d| format!("{:.3}", d.as_us_f64())).unwrap_or_default(),
+                f.delivered.pkts.to_string(),
+                f.delivered.ce.to_string(),
+                f.delivered.ue.to_string(),
+            ]
+        }),
+    )
+}
+
+/// Minimal CLI parsing for the experiment binaries: supports
+/// `--scale <f64>`, `--seed <u64>` and `--full` (scale = 1.0).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Work scale factor relative to the paper's full setup (default 0.1).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`, with a default scale.
+    pub fn parse(default_scale: f64) -> ExpArgs {
+        let mut scale = default_scale;
+        let mut seed = 1u64;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    scale = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a number"));
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                    i += 2;
+                }
+                "--full" => {
+                    scale = 1.0;
+                    i += 1;
+                }
+                other => panic!("unknown argument: {other} (supported: --scale F, --seed N, --full)"),
+            }
+        }
+        assert!(scale > 0.0, "scale must be positive");
+        ExpArgs { scale, seed }
+    }
+
+    /// Scale an integer quantity, keeping at least `min`.
+    pub fn scaled(&self, full: usize, min: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "2.5"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" starts at the same offset everywhere.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].chars().nth(col - 1), Some(' '));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // banker's-free truncating format
+        assert_eq!(pct(0.266), "26.6%");
+        assert_eq!(ms(SimTime::from_us(1500)), "1.500");
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let a = ExpArgs { scale: 0.01, seed: 1 };
+        assert_eq!(a.scaled(40_000, 100), 400);
+        assert_eq!(a.scaled(50, 100), 100);
+    }
+}
