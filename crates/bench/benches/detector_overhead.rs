@@ -69,7 +69,7 @@ fn bench_detectors(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            if i % 16 == 0 {
+            if i.is_multiple_of(16) {
                 d.on_pause(SimTime::from_ns(i * 200));
                 d.on_resume(SimTime::from_ns(i * 200 + 100));
             }

@@ -4,12 +4,13 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lossless_flowctl::{Rate, SimDuration, SimTime};
 use lossless_netsim::event::{Event, EventQueue, TxGate};
-use lossless_netsim::packet::FlowId;
+use lossless_netsim::packet::{FlowId, Packet, PacketPool};
 use lossless_netsim::routing::{RouteSelect, Routing};
 use lossless_netsim::topology::{fat_tree, NodeId};
 use lossless_workloads::hadoop;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tcd_core::CodePoint;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/schedule+pop x1000", |b| {
@@ -18,11 +19,78 @@ fn bench_event_queue(c: &mut Criterion) {
             for i in 0..1000u64 {
                 q.schedule(
                     SimTime::from_ps(i * 997 % 50_000),
-                    Event::PortTx { node: NodeId(i as u32 % 64), port: 0 },
+                    Event::PortTx {
+                        node: NodeId(i as u32 % 64),
+                        port: 0,
+                    },
                 );
             }
             let mut n = 0;
             while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn data_pkt(i: u64) -> Packet {
+    let mut p = Packet::data(
+        FlowId(i as u32 % 64),
+        NodeId(0),
+        NodeId(1),
+        1000,
+        0,
+        i * 1000,
+        false,
+        CodePoint::Capable,
+    );
+    p.sent_at = SimTime::from_ps(i);
+    p
+}
+
+/// The engine's per-packet allocation path: every hop re-enqueues the
+/// same boxed packet, and consumed packets return to the pool, so a
+/// steady-state run allocates (almost) nothing.
+fn bench_packet_pool(c: &mut Criterion) {
+    c.bench_function("packet_pool/boxed+recycle cycle", |b| {
+        let mut pool = PacketPool::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pkt = pool.boxed(data_pkt(i));
+            let pkt = black_box(pkt);
+            pool.recycle(pkt);
+        })
+    });
+    c.bench_function("packet_pool/fresh Box::new baseline", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(Box::new(data_pkt(i)));
+        })
+    });
+    // Arrival events carrying boxed packets through the queue — the
+    // event-heap traffic a forwarding-dominated run generates.
+    c.bench_function("event_queue/boxed arrivals x1000", |b| {
+        let mut pool = PacketPool::new();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(
+                    SimTime::from_ps(i * 997 % 50_000),
+                    Event::PacketArrival {
+                        node: NodeId(i as u32 % 64),
+                        in_port: 0,
+                        pkt: pool.boxed(data_pkt(i)),
+                    },
+                );
+            }
+            let mut n = 0;
+            while let Some((_, ev)) = q.pop() {
+                if let Event::PacketArrival { pkt, .. } = ev {
+                    pool.recycle(pkt);
+                }
                 n += 1;
             }
             black_box(n)
@@ -70,5 +138,12 @@ fn bench_workload_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_txgate, bench_routing, bench_workload_sampling);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_packet_pool,
+    bench_txgate,
+    bench_routing,
+    bench_workload_sampling
+);
 criterion_main!(benches);

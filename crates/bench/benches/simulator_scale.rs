@@ -1,7 +1,8 @@
 //! End-to-end simulator throughput: full packet-level runs of the paper's
 //! Figure-2 scenario under both network modes, and an incast on the
-//! fat-tree. Criterion reports wall time per simulated run; divide by the
-//! event counts printed by the experiment binaries for events/second.
+//! fat-tree. Criterion reports wall time per simulated run; the
+//! events-per-second preamble (printed once, from `Trace::events`) is the
+//! headline engine-throughput number recorded in CHANGES.md.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lossless_flowctl::{Rate, SimDuration, SimTime};
@@ -11,24 +12,65 @@ use lossless_netsim::topology::{fat_tree, figure2};
 use lossless_netsim::Simulator;
 use tcd_repro::scenarios::{default_config, Network};
 
-fn fig2_incast(network: Network, use_tcd: bool) -> u64 {
+fn fig2_sim(network: Network, use_tcd: bool) -> Simulator {
     let fig = figure2(Default::default());
     let cfg = default_config(network, use_tcd, SimTime::from_ms(1));
     let mut sim = Simulator::new(fig.topo.clone(), cfg, network.routing());
     for &a in fig.bursters.iter().take(8) {
-        sim.add_flow(a, fig.r1, 300_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            fig.r1,
+            300_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
-    sim.trace.forwarded_pkts
+    sim
+}
+
+fn fig2_incast(network: Network, use_tcd: bool) -> u64 {
+    fig2_sim(network, use_tcd).trace.forwarded_pkts
+}
+
+/// One warm timed run per configuration, printed as dispatched events per
+/// wall-clock second — the simulator's headline throughput metric.
+fn report_events_per_sec() {
+    for (name, network, tcd) in [
+        ("cee_ecn", Network::Cee, false),
+        ("cee_tcd", Network::Cee, true),
+        ("ib_fecn", Network::Ib, false),
+        ("ib_tcd", Network::Ib, true),
+    ] {
+        let _warm = fig2_sim(network, tcd);
+        let t0 = std::time::Instant::now();
+        let sim = fig2_sim(network, tcd);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "events/sec {name}: {:.3}M ({} events in {:.3} ms)",
+            sim.trace.events as f64 / wall / 1e6,
+            sim.trace.events,
+            wall * 1e3
+        );
+    }
 }
 
 fn bench_fig2(c: &mut Criterion) {
+    report_events_per_sec();
     let mut group = c.benchmark_group("simulator/fig2_incast_1ms");
     group.sample_size(10);
-    group.bench_function("cee_ecn", |b| b.iter(|| black_box(fig2_incast(Network::Cee, false))));
-    group.bench_function("cee_tcd", |b| b.iter(|| black_box(fig2_incast(Network::Cee, true))));
-    group.bench_function("ib_fecn", |b| b.iter(|| black_box(fig2_incast(Network::Ib, false))));
-    group.bench_function("ib_tcd", |b| b.iter(|| black_box(fig2_incast(Network::Ib, true))));
+    group.bench_function("cee_ecn", |b| {
+        b.iter(|| black_box(fig2_incast(Network::Cee, false)))
+    });
+    group.bench_function("cee_tcd", |b| {
+        b.iter(|| black_box(fig2_incast(Network::Cee, true)))
+    });
+    group.bench_function("ib_fecn", |b| {
+        b.iter(|| black_box(fig2_incast(Network::Ib, false)))
+    });
+    group.bench_function("ib_tcd", |b| {
+        b.iter(|| black_box(fig2_incast(Network::Ib, true)))
+    });
     group.finish();
 }
 
@@ -42,7 +84,13 @@ fn bench_fat_tree(c: &mut Criterion) {
             let mut sim = Simulator::new(ft.topo.clone(), cfg, RouteSelect::Ecmp);
             let dst = ft.hosts[0];
             for &h in ft.hosts.iter().skip(1).take(16) {
-                sim.add_flow(h, dst, 100_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+                sim.add_flow(
+                    h,
+                    dst,
+                    100_000,
+                    SimTime::ZERO,
+                    Box::new(FixedRate::line_rate()),
+                );
             }
             sim.run();
             black_box(sim.trace.forwarded_pkts)

@@ -12,10 +12,10 @@
 //!   between plain ECN and TCD.
 
 use lossless_flowctl::{Rate, SimDuration};
+use lossless_netsim::config::DetectorKind;
 use tcd_bench::report::{self, pct};
 use tcd_bench::scenarios::victim::{self, Options};
 use tcd_bench::scenarios::{cee_tcd_config, Cc, CcAlgo, Network};
-use lossless_netsim::config::DetectorKind;
 use tcd_core::baseline::RedConfig;
 use tcd_core::detector::AdaptiveMaxTon;
 
@@ -42,17 +42,34 @@ fn run_with(detector: DetectorKind, seed: u64) -> victim::Run {
 
 fn main() {
     let args = report::ExpArgs::parse(1.0);
-    report::header("Ablation", "TCD design choices on the victim scenario (CEE)");
+    report::header(
+        "Ablation",
+        "TCD design choices on the victim scenario (CEE)",
+    );
 
     let tcd_cfg = cee_tcd_config(Rate::from_gbps(40), SimDuration::from_us(4), 0.05);
     let red = RedConfig::dcqcn_40g();
 
     let variants: Vec<(&str, DetectorKind)> = vec![
         ("ecn-red (baseline)", DetectorKind::EcnRed(red)),
-        ("np-ecn (PCN)", DetectorKind::NpEcn { threshold_bytes: 200 * 1024 }),
-        ("tcd static (paper rec.)", DetectorKind::TcdRed(tcd_cfg, red)),
-        ("tcd literal windows", DetectorKind::TcdRed(tcd_cfg.literal(), red)),
-        ("tcd confirm=3", DetectorKind::TcdRed(tcd_cfg.with_confirm(3), red)),
+        (
+            "np-ecn (PCN)",
+            DetectorKind::NpEcn {
+                threshold_bytes: 200 * 1024,
+            },
+        ),
+        (
+            "tcd static (paper rec.)",
+            DetectorKind::TcdRed(tcd_cfg, red),
+        ),
+        (
+            "tcd literal windows",
+            DetectorKind::TcdRed(tcd_cfg.literal(), red),
+        ),
+        (
+            "tcd confirm=3",
+            DetectorKind::TcdRed(tcd_cfg.with_confirm(3), red),
+        ),
         (
             "tcd adaptive max(Ton)",
             DetectorKind::TcdRed(
@@ -91,7 +108,11 @@ fn main() {
             name.to_string(),
             format!("{ce_flagged}/{}", r.victims.len()),
             format!("{ue_flagged}/{}", r.victims.len()),
-            pct(if pkts == 0 { 0.0 } else { ce as f64 / pkts as f64 }),
+            pct(if pkts == 0 {
+                0.0
+            } else {
+                ce as f64 / pkts as f64
+            }),
             format!("{:.1}", r.victim_mean_fct().unwrap_or(0.0) * 1e6),
         ]);
     }
@@ -106,7 +127,10 @@ fn main() {
     report::header("Ablation", "HPCC (INT) on the same victim scenario");
     let mut opt = base_opts(args.seed);
     opt.use_tcd = false;
-    opt.cc = Some(Cc { algo: CcAlgo::Hpcc, tcd: false });
+    opt.cc = Some(Cc {
+        algo: CcAlgo::Hpcc,
+        tcd: false,
+    });
     let r = victim::run(opt);
     println!(
         "hpcc: victims {} | mean victim FCT {:.1} us | pause frames {}",

@@ -39,7 +39,15 @@ fn run(lossless: bool, fanin: usize, size: u64, seed: u64) -> Outcome {
         .bursters
         .iter()
         .take(fanin)
-        .map(|&a| sim.add_flow(a, f2t.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .map(|&a| {
+            sim.add_flow(
+                a,
+                f2t.r1,
+                size,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            )
+        })
         .collect();
     sim.run();
     let fcts: Vec<f64> = flows
@@ -63,16 +71,13 @@ fn run(lossless: bool, fanin: usize, size: u64, seed: u64) -> Outcome {
 
 fn main() {
     let args = report::ExpArgs::parse(1.0);
-    report::header("§1 motivation", "incast FCT: lossy Ethernet vs lossless (PFC)");
+    report::header(
+        "§1 motivation",
+        "incast FCT: lossy Ethernet vs lossless (PFC)",
+    );
     let size = 500 * 1024u64;
     let mut t = report::Table::new(vec![
-        "fan-in",
-        "mode",
-        "p50 ms",
-        "p99 ms",
-        "max ms",
-        "drops",
-        "pauses",
+        "fan-in", "mode", "p50 ms", "p99 ms", "max ms", "drops", "pauses",
     ]);
     for fanin in [2usize, 4, 8, 15] {
         for lossless in [false, true] {

@@ -26,27 +26,44 @@ fn main() {
             Network::Ib => "InfiniBand (FECN)",
         };
         report::header("Fig. 3", &format!("single congestion point — {tag}"));
-        let r = run(Options { network, multi_cp: false, use_tcd: false, ..Default::default() });
+        let r = run(Options {
+            network,
+            multi_cp: false,
+            use_tcd: false,
+            ..Default::default()
+        });
         let prio = r.sim.config().data_prio;
 
         print_port_trace(&r.sim, "P2 queue/rate", r.fig.p2.0, r.fig.p2.1, prio, 30);
 
         let d = |f: lossless_netsim::FlowId| r.sim.trace.flows[f.0 as usize].delivered;
         let mut t = report::Table::new(vec!["flow", "pkts", "CE-marked", "CE frac"]);
-        for (name, f) in [("F0 (victim)", r.f0), ("F1 (congested)", r.f1), ("F2 (victim)", r.f2)] {
+        for (name, f) in [
+            ("F0 (victim)", r.f0),
+            ("F1 (congested)", r.f1),
+            ("F2 (victim)", r.f2),
+        ] {
             let del = d(f);
             t.row(vec![
                 name.to_string(),
                 del.pkts.to_string(),
                 del.ce.to_string(),
-                pct(if del.pkts == 0 { 0.0 } else { del.ce as f64 / del.pkts as f64 }),
+                pct(if del.pkts == 0 {
+                    0.0
+                } else {
+                    del.ce as f64 / del.pkts as f64
+                }),
             ]);
         }
         t.print();
 
         let peak_p2 = peak_queue(&r.sim, r.fig.p2.0, r.fig.p2.1, prio);
         let peak_p0 = peak_queue(&r.sim, r.fig.p0.0, r.fig.p0.1, prio);
-        println!("peak queue: P2 = {:.0} KB, P0 = {:.0} KB", peak_p2 as f64 / 1024.0, peak_p0 as f64 / 1024.0);
+        println!(
+            "peak queue: P2 = {:.0} KB, P0 = {:.0} KB",
+            peak_p2 as f64 / 1024.0,
+            peak_p0 as f64 / 1024.0
+        );
 
         // Late-run P2 rate (after bursts end): should approach F0+F2 = 10G.
         let rates = port_rate_series(&r.sim, r.fig.p2.0, r.fig.p2.1, prio);
@@ -64,7 +81,10 @@ fn main() {
             .map(|&(_, q)| q)
             .max()
             .unwrap_or(0);
-        println!("P3 (congestion root) peak queue: {:.0} KB", p3_peak as f64 / 1024.0);
+        println!(
+            "P3 (congestion root) peak queue: {:.0} KB",
+            p3_peak as f64 / 1024.0
+        );
         println!("PAUSE frames in run: {}\n", r.sim.trace.pause_frames);
     }
 }

@@ -20,7 +20,12 @@ fn main() {
             Network::Ib => "InfiniBand (FECN)",
         };
         report::header("Fig. 4", &format!("multiple congestion points — {tag}"));
-        let r = run(Options { network, multi_cp: true, use_tcd: false, ..Default::default() });
+        let r = run(Options {
+            network,
+            multi_cp: true,
+            use_tcd: false,
+            ..Default::default()
+        });
         let prio = r.sim.config().data_prio;
 
         print_port_trace(&r.sim, "P2 queue/rate", r.fig.p2.0, r.fig.p2.1, prio, 30);
@@ -33,7 +38,11 @@ fn main() {
                 name.to_string(),
                 del.pkts.to_string(),
                 del.ce.to_string(),
-                pct(if del.pkts == 0 { 0.0 } else { del.ce as f64 / del.pkts as f64 }),
+                pct(if del.pkts == 0 {
+                    0.0
+                } else {
+                    del.ce as f64 / del.pkts as f64
+                }),
             ]);
         }
         t.print();
@@ -41,12 +50,18 @@ fn main() {
         // The distinguishing feature vs Fig. 3: after the bursts end, P2
         // still has persistent queue accumulation and sends at full rate.
         let qs = queue_series(&r.sim, r.fig.p2.0, r.fig.p2.1, prio);
-        let late_q: Vec<u64> =
-            qs.iter().filter(|(t, _)| t.as_ms_f64() > 4.5).map(|&(_, q)| q).collect();
+        let late_q: Vec<u64> = qs
+            .iter()
+            .filter(|(t, _)| t.as_ms_f64() > 4.5)
+            .map(|&(_, q)| q)
+            .collect();
         let late_q_avg = late_q.iter().sum::<u64>() as f64 / late_q.len().max(1) as f64 / 1024.0;
         let rates = port_rate_series(&r.sim, r.fig.p2.0, r.fig.p2.1, prio);
-        let late_r: Vec<f64> =
-            rates.iter().filter(|p| p.t.as_ms_f64() > 4.5).map(|p| p.gbps).collect();
+        let late_r: Vec<f64> = rates
+            .iter()
+            .filter(|p| p.t.as_ms_f64() > 4.5)
+            .map(|p| p.gbps)
+            .collect();
         let late_r_avg = late_r.iter().sum::<f64>() / late_r.len().max(1) as f64;
         println!("P2 after bursts: avg queue {late_q_avg:.0} KB (persistent), avg rate {late_r_avg:.1} Gbps (full rate)");
         println!();

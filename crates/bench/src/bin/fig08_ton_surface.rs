@@ -6,9 +6,9 @@
 //! (hyperbolically), and increases with `R_d` (the τ·R_d term); the ε=0.05
 //! plane covers most practical `T_on` values.
 
+use lossless_flowctl::{Rate, SimDuration};
 use tcd_bench::report;
 use tcd_core::model::{fig8_surface, OnOffModel, RECOMMENDED_EPSILON};
-use lossless_flowctl::{Rate, SimDuration};
 
 fn main() {
     let _args = report::ExpArgs::parse(1.0);
@@ -18,7 +18,16 @@ fn main() {
     let rd_steps = 8;
     let pts = fig8_surface(&epsilons, rd_steps);
 
-    let mut t = report::Table::new(vec!["R_d (Gbps) \\ eps", "0.01", "0.02", "0.05", "0.1", "0.2", "0.4", "0.8"]);
+    let mut t = report::Table::new(vec![
+        "R_d (Gbps) \\ eps",
+        "0.01",
+        "0.02",
+        "0.05",
+        "0.1",
+        "0.2",
+        "0.4",
+        "0.8",
+    ]);
     for i in 0..rd_steps {
         let rd = pts[i].rd_gbps;
         let mut row = vec![format!("{rd:.1}")];
@@ -46,6 +55,9 @@ fn main() {
         .filter(|p| p.epsilon >= RECOMMENDED_EPSILON)
         .filter(|p| p.ton_us <= model.max_ton_secs() * 1e6 + 1e-9)
         .count();
-    let total = pts.iter().filter(|p| p.epsilon >= RECOMMENDED_EPSILON).count();
+    let total = pts
+        .iter()
+        .filter(|p| p.epsilon >= RECOMMENDED_EPSILON)
+        .count();
     println!("plane covers {covered}/{total} grid points with eps >= 0.05");
 }

@@ -36,9 +36,21 @@ fn main() {
 
         // Saturate P3 via the bursters; run a long flow through P2 so the
         // port actually transmits during ON periods.
-        sim.add_flow(fig.s1, fig.r1, 20_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            fig.s1,
+            fig.r1,
+            20_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
         for &a in fig.bursters.iter() {
-            sim.add_flow(a, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+            sim.add_flow(
+                a,
+                fig.r1,
+                1_000_000,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            );
         }
         sim.run();
 
@@ -73,13 +85,16 @@ fn main() {
         }
         let pct = |p: f64| lossless_stats::percentile(&on_periods_us, p).unwrap();
         let bound_us = match network {
-            Network::Cee => {
-                cee_max_ton(Rate::from_gbps(40), 1000, SimDuration::from_us(4), RECOMMENDED_EPSILON)
-                    .as_us_f64()
-            }
-            Network::Ib => {
-                lossless_flowctl::cbfc::CbfcConfig::paper_simulation().update_period.as_us_f64()
-            }
+            Network::Cee => cee_max_ton(
+                Rate::from_gbps(40),
+                1000,
+                SimDuration::from_us(4),
+                RECOMMENDED_EPSILON,
+            )
+            .as_us_f64(),
+            Network::Ib => lossless_flowctl::cbfc::CbfcConfig::paper_simulation()
+                .update_period
+                .as_us_f64(),
         };
         let within = on_periods_us.iter().filter(|&&x| x <= bound_us).count();
         println!(

@@ -22,7 +22,12 @@ fn main() {
             Network::Ib => "InfiniBand",
         };
         report::header("Fig. 12", &format!("TCD, single congestion point — {tag}"));
-        let r = run(Options { network, multi_cp: false, use_tcd: true, ..Default::default() });
+        let r = run(Options {
+            network,
+            multi_cp: false,
+            use_tcd: true,
+            ..Default::default()
+        });
         let prio = r.sim.config().data_prio;
 
         print_port_trace(&r.sim, "P2 (TCD)", r.fig.p2.0, r.fig.p2.1, prio, 24);
@@ -30,9 +35,19 @@ fn main() {
 
         let d = |f: lossless_netsim::FlowId| r.sim.trace.flows[f.0 as usize].delivered;
         let mut t = report::Table::new(vec!["flow", "pkts", "CE", "UE", "CE frac", "UE frac"]);
-        for (name, f) in [("F0 (victim)", r.f0), ("F1 (congested)", r.f1), ("F2 (victim)", r.f2)] {
+        for (name, f) in [
+            ("F0 (victim)", r.f0),
+            ("F1 (congested)", r.f1),
+            ("F2 (victim)", r.f2),
+        ] {
             let del = d(f);
-            let frac = |n: u64| pct(if del.pkts == 0 { 0.0 } else { n as f64 / del.pkts as f64 });
+            let frac = |n: u64| {
+                pct(if del.pkts == 0 {
+                    0.0
+                } else {
+                    n as f64 / del.pkts as f64
+                })
+            };
             t.row(vec![
                 name.to_string(),
                 del.pkts.to_string(),
@@ -48,7 +63,10 @@ fn main() {
         // non-congested, never congested while undetermined.
         let states = state_series(&r.sim, r.fig.p2.0, r.fig.p2.1, prio);
         let visited_undet = states.iter().any(|(_, s)| s.is_undetermined());
-        let final_state = states.last().map(|&(_, s)| s).unwrap_or(TernaryState::NonCongestion);
+        let final_state = states
+            .last()
+            .map(|&(_, s)| s)
+            .unwrap_or(TernaryState::NonCongestion);
         println!(
             "P2 visited undetermined: {visited_undet}; final state: {final_state} (paper: / then 0)\n"
         );

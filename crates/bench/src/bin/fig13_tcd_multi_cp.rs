@@ -20,8 +20,16 @@ fn main() {
             Network::Cee => "CEE",
             Network::Ib => "InfiniBand",
         };
-        report::header("Fig. 13", &format!("TCD, multiple congestion points — {tag}"));
-        let r = run(Options { network, multi_cp: true, use_tcd: true, ..Default::default() });
+        report::header(
+            "Fig. 13",
+            &format!("TCD, multiple congestion points — {tag}"),
+        );
+        let r = run(Options {
+            network,
+            multi_cp: true,
+            use_tcd: true,
+            ..Default::default()
+        });
         let prio = r.sim.config().data_prio;
 
         print_port_trace(&r.sim, "P2 (TCD)", r.fig.p2.0, r.fig.p2.1, prio, 24);
@@ -44,7 +52,8 @@ fn main() {
         }
         println!(
             "P2: visited undetermined = {visited_undet}; undetermined→congestion at {} ms",
-            t5.map(|t| format!("{:.3}", t.as_ms_f64())).unwrap_or_else(|| "—".into())
+            t5.map(|t| format!("{:.3}", t.as_ms_f64()))
+                .unwrap_or_else(|| "—".into())
         );
 
         // F0/F2 are genuinely congested at P2 in this scenario (their

@@ -45,7 +45,10 @@ fn main() {
         let r = victim::run(victim::Options {
             network: Network::Ib,
             use_tcd: tcd,
-            cc: Some(Cc { algo: CcAlgo::IbCc, tcd }),
+            cc: Some(Cc {
+                algo: CcAlgo::IbCc,
+                tcd,
+            }),
             burst_gap: SimDuration::from_us(700),
             load: 0.3,
             io_fraction: 0.1,
@@ -81,7 +84,10 @@ fn main() {
     let mut runs = Vec::new();
     for tcd in [false, true] {
         let r = run_hpc(HpcOptions {
-            cc: Cc { algo: CcAlgo::IbCc, tcd },
+            cc: Cc {
+                algo: CcAlgo::IbCc,
+                tcd,
+            },
             use_tcd: tcd,
             k,
             messages,
@@ -91,7 +97,11 @@ fn main() {
         });
         runs.push((if tcd { "ibcc+tcd" } else { "ibcc" }, r));
     }
-    let mut t = report::Table::new(vec!["class", "ibcc mean slowdown", "ibcc+tcd mean slowdown"]);
+    let mut t = report::Table::new(vec![
+        "class",
+        "ibcc mean slowdown",
+        "ibcc+tcd mean slowdown",
+    ]);
     let class = |size: u64| -> usize {
         if size <= 32 * 1024 {
             0 // MPI

@@ -37,7 +37,10 @@ fn main() {
                     .filter(|s| s.node == h && s.prio == prio)
                     .map(|s| (s.t, s.tx_bytes))
                     .collect();
-                rate_series(&cum).iter().map(|p| (p.t.as_ms_f64(), p.gbps)).collect()
+                rate_series(&cum)
+                    .iter()
+                    .map(|p| (p.t.as_ms_f64(), p.gbps))
+                    .collect()
             })
             .collect();
         // Print 2 ms averages.
@@ -51,7 +54,11 @@ fn main() {
                     .filter(|(t, _)| *t >= bin_start && *t < bin_end)
                     .map(|&(_, g)| g)
                     .collect();
-                avg[i] = if vals.is_empty() { 0.0 } else { vals.iter().sum::<f64>() / vals.len() as f64 };
+                avg[i] = if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                };
             }
             t.row(vec![
                 format!("{bin_start:.1}"),
@@ -69,17 +76,27 @@ fn main() {
         let last: Vec<f64> = series
             .iter()
             .map(|s| {
-                let vals: Vec<f64> =
-                    s.iter().filter(|(t, _)| *t > 32.0).map(|&(_, g)| g).collect();
+                let vals: Vec<f64> = s
+                    .iter()
+                    .filter(|(t, _)| *t > 32.0)
+                    .map(|&(_, g)| g)
+                    .collect();
                 vals.iter().sum::<f64>() / vals.len().max(1) as f64
             })
             .collect();
         let sum: f64 = last.iter().sum();
         let sumsq: f64 = last.iter().map(|x| x * x).sum();
-        let jain = if sumsq > 0.0 { sum * sum / (4.0 * sumsq) } else { 0.0 };
+        let jain = if sumsq > 0.0 {
+            sum * sum / (4.0 * sumsq)
+        } else {
+            0.0
+        };
         println!(
             "late rates: {} | Jain fairness {:.3} (1.0 = perfect)\n",
-            last.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>().join(" / "),
+            last.iter()
+                .map(|x| format!("{x:.2}"))
+                .collect::<Vec<_>>()
+                .join(" / "),
             jain
         );
     }

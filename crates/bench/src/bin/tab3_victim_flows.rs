@@ -22,7 +22,12 @@ fn main() {
         (Network::Ib, false, "FECN (IB)", "13.5%"),
         (Network::Ib, true, "TCD  (IB)", "0%"),
     ] {
-        let mut opt = Options { network, use_tcd, seed: args.seed, ..Default::default() };
+        let mut opt = Options {
+            network,
+            use_tcd,
+            seed: args.seed,
+            ..Default::default()
+        };
         if network == Network::Cee {
             // Denser burst rounds for the Hadoop mix, matching the paper's
             // synchronous concurrent-burst generators.

@@ -4,8 +4,11 @@
 //! *"Congestion Detection in Lossless Networks"* (SIGCOMM 2021); see
 //! DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results. All binaries accept `--scale <f>`,
-//! `--seed <n>` and `--full`.
+//! `--seed <n>`, `--threads <n>` and `--full`; sweep-shaped binaries
+//! (figs. 14/15/16/18/19) fan their independent runs out on the
+//! deterministic parallel [`harness`].
 
+pub use tcd_repro::harness;
 pub use tcd_repro::report;
 pub use tcd_repro::scenarios;
 
@@ -93,7 +96,11 @@ pub fn print_port_trace(
 
 /// Peak queue length (bytes) seen in the samples of one egress.
 pub fn peak_queue(sim: &Simulator, node: NodeId, port: u16, prio: u8) -> u64 {
-    queue_series(sim, node, port, prio).iter().map(|&(_, q)| q).max().unwrap_or(0)
+    queue_series(sim, node, port, prio)
+        .iter()
+        .map(|&(_, q)| q)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Whether an egress was ever observed paused/credit-blocked.

@@ -86,7 +86,11 @@ impl DcqcnConfig {
     /// slow recovery, which contradicts the paper's "comparable
     /// performance for large flows"; see DESIGN.md.
     pub fn tcd() -> Self {
-        DcqcnConfig { reduction_factor: 0.6, hold_on_ue: true, ..Default::default() }
+        DcqcnConfig {
+            reduction_factor: 0.6,
+            hold_on_ue: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -353,7 +357,12 @@ mod tests {
         assert!(d.rate() > r_fr);
         // Drive the byte counter to reach hyper increase.
         for _ in 0..cfg.fr_stages {
-            let _ = d.on_event(SimTime::ZERO, CcEvent::Sent { bytes: cfg.byte_counter });
+            let _ = d.on_event(
+                SimTime::ZERO,
+                CcEvent::Sent {
+                    bytes: cfg.byte_counter,
+                },
+            );
         }
         let before = d.rate();
         let _ = d.on_event(SimTime::ZERO, CcEvent::Timer { id: TIMER_INCREASE });

@@ -131,7 +131,9 @@ impl Hpcc {
 
     fn window_to_rate(&self) -> Rate {
         let bps = self.w * 8.0 / self.cfg.base_rtt.as_secs_f64();
-        Rate::from_bps(bps as u64).max(self.cfg.min_rate).min(self.line_rate)
+        Rate::from_bps(bps as u64)
+            .max(self.cfg.min_rate)
+            .min(self.line_rate)
     }
 }
 
@@ -230,7 +232,11 @@ mod tests {
         // with a big standing queue.
         ack_at(&mut h, 0, vec![hop(400_000, 1_000_000, 0)]);
         ack_at(&mut h, 30, vec![hop(400_000, 1_125_000, 25)]);
-        assert!(h.rate() < Rate::from_gbps(30), "must back off: {:?}", h.rate());
+        assert!(
+            h.rate() < Rate::from_gbps(30),
+            "must back off: {:?}",
+            h.rate()
+        );
     }
 
     #[test]
@@ -241,7 +247,11 @@ mod tests {
         for i in 0..20u64 {
             ack_at(&mut h, i * 30, vec![hop(0, i * 1000, (i * 30).max(1) - 1)]);
         }
-        assert!(h.rate() > Rate::from_gbps(30), "should stay fast: {:?}", h.rate());
+        assert!(
+            h.rate() > Rate::from_gbps(30),
+            "should stay fast: {:?}",
+            h.rate()
+        );
     }
 
     #[test]
@@ -274,6 +284,9 @@ mod tests {
         ack_at(&mut h, 30, vec![hop(300_000, 500_000, 25)]); // no tx progress
         ack_at(&mut h, 60, vec![hop(300_000, 500_000, 55)]);
         ack_at(&mut h, 90, vec![hop(300_000, 500_000, 85)]);
-        assert!(h.rate() < Rate::from_gbps(20), "paused hop must look congested");
+        assert!(
+            h.rate() < Rate::from_gbps(20),
+            "paused hop must look congested"
+        );
     }
 }

@@ -57,7 +57,11 @@ impl Default for IbCcConfig {
 impl IbCcConfig {
     /// The TCD-aware variant of §5.2.2: hold on UE, step 2 on CE.
     pub fn tcd() -> Self {
-        IbCcConfig { ccti_increase: 2, hold_on_ue: true, ..Default::default() }
+        IbCcConfig {
+            ccti_increase: 2,
+            hold_on_ue: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -76,7 +80,13 @@ impl IbCc {
     pub fn new(cfg: IbCcConfig) -> IbCc {
         assert!(cfg.ccti_increase >= 1);
         assert!(cfg.ird_unit > 0.0);
-        IbCc { cfg, line_rate: Rate::ZERO, ccti: 0, becns: 0, holds: 0 }
+        IbCc {
+            cfg,
+            line_rate: Rate::ZERO,
+            ccti: 0,
+            becns: 0,
+            holds: 0,
+        }
     }
 
     /// Standard IB CC.
@@ -213,7 +223,10 @@ mod tests {
 
     #[test]
     fn ccti_saturates_at_max() {
-        let mut c = started(IbCcConfig { ccti_max: 10, ..Default::default() });
+        let mut c = started(IbCcConfig {
+            ccti_max: 10,
+            ..Default::default()
+        });
         for _ in 0..100 {
             becn(&mut c, CodePoint::CE);
         }
@@ -242,7 +255,10 @@ mod tests {
     fn timer_reschedules_itself() {
         let mut c = started(IbCcConfig::default());
         let a = c.on_event(SimTime::ZERO, CcEvent::Timer { id: TIMER_CCTI });
-        assert_eq!(a.timers, vec![(TIMER_CCTI, IbCcConfig::default().ccti_timer)]);
+        assert_eq!(
+            a.timers,
+            vec![(TIMER_CCTI, IbCcConfig::default().ccti_timer)]
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl TimelyConfig {
     /// contributors), keeping the standard β for unmarked/pause-inflated
     /// RTT samples.
     pub fn tcd() -> Self {
-        TimelyConfig { beta_ce: 1.6, hold_on_ue: true, ..Default::default() }
+        TimelyConfig {
+            beta_ce: 1.6,
+            hold_on_ue: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -157,7 +161,11 @@ impl Timely {
         self.rtt_diff = (1.0 - a) * self.rtt_diff + a * new_diff;
         let gradient = self.rtt_diff / self.cfg.min_rtt.as_secs_f64();
 
-        let beta = if code.is_ce() { self.cfg.beta_ce } else { self.cfg.beta };
+        let beta = if code.is_ce() {
+            self.cfg.beta_ce
+        } else {
+            self.cfg.beta
+        };
         if rtt < self.cfg.t_low {
             self.additive_increase(1);
             return;
@@ -171,7 +179,11 @@ impl Timely {
         }
         if gradient <= 0.0 {
             self.neg_gradient_streak += 1;
-            let n = if self.neg_gradient_streak >= self.cfg.hai_threshold { 5 } else { 1 };
+            let n = if self.neg_gradient_streak >= self.cfg.hai_threshold {
+                5
+            } else {
+                1
+            };
             self.additive_increase(n);
         } else {
             // Positive gradient inside the band: this is where PAUSEs and
@@ -187,7 +199,10 @@ impl Timely {
     }
 
     fn additive_increase(&mut self, n: u64) {
-        self.rate = self.clamp(self.rate.saturating_add(Rate::from_bps(self.cfg.delta.as_bps() * n)));
+        self.rate = self.clamp(
+            self.rate
+                .saturating_add(Rate::from_bps(self.cfg.delta.as_bps() * n)),
+        );
     }
 
     fn decrease(&mut self, factor: f64) {
@@ -246,11 +261,18 @@ mod tests {
     /// per-RTT update gate never suppresses it.
     fn ack(t: &mut Timely, rtt_us: u64, code: CodePoint) {
         let now = SimTime::from_us(
-            t.last_update.map(|u| u.as_ps() / 1_000_000 + 30).unwrap_or(0),
+            t.last_update
+                .map(|u| u.as_ps() / 1_000_000 + 30)
+                .unwrap_or(0),
         );
         let _ = t.on_event(
             now,
-            CcEvent::Ack { rtt: SimDuration::from_us(rtt_us), code, bytes: 1000, int: vec![] },
+            CcEvent::Ack {
+                rtt: SimDuration::from_us(rtt_us),
+                code,
+                bytes: 1000,
+                int: vec![],
+            },
         );
     }
 
@@ -260,17 +282,32 @@ mod tests {
         // Two high-RTT acks within the update interval: only one decrease.
         let _ = t.on_event(
             SimTime::from_us(1),
-            CcEvent::Ack { rtt: SimDuration::from_us(1000), code: CodePoint::Capable, bytes: 1000, int: vec![] },
+            CcEvent::Ack {
+                rtt: SimDuration::from_us(1000),
+                code: CodePoint::Capable,
+                bytes: 1000,
+                int: vec![],
+            },
         );
         let _ = t.on_event(
             SimTime::from_us(2),
-            CcEvent::Ack { rtt: SimDuration::from_us(1000), code: CodePoint::Capable, bytes: 1000, int: vec![] },
+            CcEvent::Ack {
+                rtt: SimDuration::from_us(1000),
+                code: CodePoint::Capable,
+                bytes: 1000,
+                int: vec![],
+            },
         );
         assert_eq!(t.decreases(), 1);
         // After the interval, updates resume.
         let _ = t.on_event(
             SimTime::from_us(40),
-            CcEvent::Ack { rtt: SimDuration::from_us(1000), code: CodePoint::Capable, bytes: 1000, int: vec![] },
+            CcEvent::Ack {
+                rtt: SimDuration::from_us(1000),
+                code: CodePoint::Capable,
+                bytes: 1000,
+                int: vec![],
+            },
         );
         assert_eq!(t.decreases(), 2);
     }

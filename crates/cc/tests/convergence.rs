@@ -4,12 +4,12 @@
 //! fairly between identical flows.
 
 use lossless_cc::{Dcqcn, IbCc, Timely};
-use lossless_netsim::{Rate, SimDuration, SimTime};
 use lossless_netsim::cchooks::{FixedRate, RateController};
 use lossless_netsim::config::{FeedbackMode, SimConfig};
 use lossless_netsim::routing::RouteSelect;
 use lossless_netsim::topology::figure2;
 use lossless_netsim::Simulator;
+use lossless_netsim::{Rate, SimDuration, SimTime};
 
 fn cee_cfg(end: SimTime, feedback: FeedbackMode) -> SimConfig {
     let mut cfg = SimConfig::cee_baseline(end);
@@ -18,17 +18,30 @@ fn cee_cfg(end: SimTime, feedback: FeedbackMode) -> SimConfig {
 }
 
 fn cnp_feedback() -> FeedbackMode {
-    FeedbackMode::CnpOnMarked { min_interval: SimDuration::from_us(50), notify_ue: false }
+    FeedbackMode::CnpOnMarked {
+        min_interval: SimDuration::from_us(50),
+        notify_ue: false,
+    }
 }
 
 /// Long flow vs. incast at the same receiver: the controller must give up
 /// most of its bandwidth while the incast runs.
 fn throttles_under_congestion(mk: impl Fn() -> Box<dyn RateController>, feedback: FeedbackMode) {
     let f2 = figure2(Default::default());
-    let mut sim = Simulator::new(f2.topo.clone(), cee_cfg(SimTime::from_ms(3), feedback), RouteSelect::Ecmp);
+    let mut sim = Simulator::new(
+        f2.topo.clone(),
+        cee_cfg(SimTime::from_ms(3), feedback),
+        RouteSelect::Ecmp,
+    );
     let f1 = sim.add_flow(f2.s1, f2.r1, 100_000_000, SimTime::ZERO, mk());
     for &a in &f2.bursters {
-        sim.add_flow(a, f2.r1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            2_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     let rate = sim.flow_rate(f1).expect("flow still active");
@@ -70,7 +83,10 @@ fn shares_bottleneck(mk: impl Fn() -> Box<dyn RateController>, feedback: Feedbac
     // then recover, so judge the end state, not the whole-run average).
     let ra = sim.flow_rate(a).expect("flow a active").as_gbps_f64();
     let rb = sim.flow_rate(b).expect("flow b active").as_gbps_f64();
-    assert!(ra + rb > 25.0, "bottleneck underutilized at end: {ra:.1} + {rb:.1} Gbps");
+    assert!(
+        ra + rb > 25.0,
+        "bottleneck underutilized at end: {ra:.1} + {rb:.1} Gbps"
+    );
     let da = sim.trace.flows[a.0 as usize].delivered.bytes as f64;
     let db = sim.trace.flows[b.0 as usize].delivered.bytes as f64;
     let ratio = da.max(db) / da.min(db).max(1.0);
@@ -103,9 +119,21 @@ fn dcqcn_recovers_after_congestion() {
         cee_cfg(SimTime::from_ms(30), cnp_feedback()),
         RouteSelect::Ecmp,
     );
-    let f1 = sim.add_flow(f2.s1, f2.r1, 1_000_000_000, SimTime::ZERO, Box::new(Dcqcn::standard()));
+    let f1 = sim.add_flow(
+        f2.s1,
+        f2.r1,
+        1_000_000_000,
+        SimTime::ZERO,
+        Box::new(Dcqcn::standard()),
+    );
     for &a in &f2.bursters {
-        sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     let rate = sim.flow_rate(f1).expect("still active");
@@ -123,13 +151,28 @@ fn timely_recovers_after_congestion() {
         cee_cfg(SimTime::from_ms(20), FeedbackMode::AckPerPacket),
         RouteSelect::Ecmp,
     );
-    let f1 = sim.add_flow(f2.s1, f2.r1, 1_000_000_000, SimTime::ZERO, Box::new(Timely::standard()));
+    let f1 = sim.add_flow(
+        f2.s1,
+        f2.r1,
+        1_000_000_000,
+        SimTime::ZERO,
+        Box::new(Timely::standard()),
+    );
     for &a in &f2.bursters {
-        sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     let rate = sim.flow_rate(f1).expect("still active");
-    assert!(rate > Rate::from_gbps(10), "TIMELY failed to recover: {rate:?}");
+    assert!(
+        rate > Rate::from_gbps(10),
+        "TIMELY failed to recover: {rate:?}"
+    );
 }
 
 #[test]
@@ -143,16 +186,37 @@ fn hpcc_throttles_and_shares_with_int() {
     let mut cfg = cee_cfg(end, FeedbackMode::AckPerPacket);
     cfg.int_telemetry = true;
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
-    let a = sim.add_flow(f2.bursters[0], f2.r1, 1_000_000_000, SimTime::ZERO, Box::new(Hpcc::standard()));
-    let b = sim.add_flow(f2.bursters[1], f2.r1, 1_000_000_000, SimTime::ZERO, Box::new(Hpcc::standard()));
+    let a = sim.add_flow(
+        f2.bursters[0],
+        f2.r1,
+        1_000_000_000,
+        SimTime::ZERO,
+        Box::new(Hpcc::standard()),
+    );
+    let b = sim.add_flow(
+        f2.bursters[1],
+        f2.r1,
+        1_000_000_000,
+        SimTime::ZERO,
+        Box::new(Hpcc::standard()),
+    );
     sim.run();
     let ra = sim.flow_rate(a).expect("active").as_gbps_f64();
     let rb = sim.flow_rate(b).expect("active").as_gbps_f64();
     assert!(ra + rb > 25.0, "HPCC underutilizes: {ra:.1}+{rb:.1}");
-    assert!(ra + rb < 48.0, "HPCC must not exceed the bottleneck by much");
+    assert!(
+        ra + rb < 48.0,
+        "HPCC must not exceed the bottleneck by much"
+    );
     let da = sim.trace.flows[a.0 as usize].delivered.bytes as f64;
     let db = sim.trace.flows[b.0 as usize].delivered.bytes as f64;
-    assert!(da.max(db) / da.min(db).max(1.0) < 3.0, "unfair: {da} vs {db}");
+    assert!(
+        da.max(db) / da.min(db).max(1.0) < 3.0,
+        "unfair: {da} vs {db}"
+    );
     // HPCC's selling point: short queues. The bottleneck never pauses.
-    assert_eq!(sim.trace.pause_frames, 0, "HPCC should keep queues below PFC thresholds");
+    assert_eq!(
+        sim.trace.pause_frames, 0,
+        "HPCC should keep queues below PFC thresholds"
+    );
 }

@@ -38,14 +38,22 @@ pub struct RedConfig {
 impl RedConfig {
     /// DCQCN's recommended 40 Gbps parameters.
     pub fn dcqcn_40g() -> Self {
-        RedConfig { kmin_bytes: 5 * 1024, kmax_bytes: 200 * 1024, pmax: 0.01 }
+        RedConfig {
+            kmin_bytes: 5 * 1024,
+            kmax_bytes: 200 * 1024,
+            pmax: 0.01,
+        }
     }
 
     /// Deterministic threshold marking at `k` bytes (the §3 description:
     /// "if the current egress queue length exceeds a threshold Kmax
     /// (i.e., 200KB), the packet is marked with ECN").
     pub fn threshold(k_bytes: u64) -> Self {
-        RedConfig { kmin_bytes: k_bytes, kmax_bytes: k_bytes, pmax: 1.0 }
+        RedConfig {
+            kmin_bytes: k_bytes,
+            kmax_bytes: k_bytes,
+            pmax: 1.0,
+        }
     }
 }
 
@@ -87,9 +95,21 @@ pub struct EcnRed {
 impl EcnRed {
     /// New RED marker; `seed` makes the marking coin reproducible.
     pub fn new(cfg: RedConfig, seed: u64) -> Self {
-        assert!(cfg.kmin_bytes <= cfg.kmax_bytes, "K_min must not exceed K_max");
-        assert!((0.0..=1.0).contains(&cfg.pmax), "P_max must be a probability");
-        EcnRed { cfg, rng: XorShift64::new(seed), onoff: OnOffTracker::new(), last_queue: 0, marks: 0 }
+        assert!(
+            cfg.kmin_bytes <= cfg.kmax_bytes,
+            "K_min must not exceed K_max"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.pmax),
+            "P_max must be a probability"
+        );
+        EcnRed {
+            cfg,
+            rng: XorShift64::new(seed),
+            onoff: OnOffTracker::new(),
+            last_queue: 0,
+            marks: 0,
+        }
     }
 
     /// Packets marked so far.
@@ -216,7 +236,11 @@ mod tests {
     use lossless_flowctl::SimTime;
 
     fn ctx(q: u64, delayed: bool) -> DequeueContext {
-        DequeueContext { now: SimTime::from_us(1), queue_bytes: q, delayed_by_fc: delayed }
+        DequeueContext {
+            now: SimTime::from_us(1),
+            queue_bytes: q,
+            delayed_by_fc: delayed,
+        }
     }
 
     #[test]
@@ -240,7 +264,11 @@ mod tests {
     #[test]
     fn red_marks_proportionally_between_thresholds() {
         let mut red = EcnRed::new(
-            RedConfig { kmin_bytes: 0, kmax_bytes: 100_000, pmax: 1.0 },
+            RedConfig {
+                kmin_bytes: 0,
+                kmax_bytes: 100_000,
+                pmax: 1.0,
+            },
             42,
         );
         let mut marks = 0;
@@ -318,6 +346,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn red_rejects_invalid_pmax() {
-        let _ = EcnRed::new(RedConfig { kmin_bytes: 0, kmax_bytes: 1, pmax: 1.5 }, 1);
+        let _ = EcnRed::new(
+            RedConfig {
+                kmin_bytes: 0,
+                kmax_bytes: 1,
+                pmax: 1.5,
+            },
+            1,
+        );
     }
 }

@@ -148,7 +148,10 @@ impl TcdConfig {
     /// Config with the recommended `T = max(T_on)` coupling and the
     /// paper-literal single-period trend confirmation.
     pub fn new(max_ton: SimDuration, queue_high_bytes: u64, queue_low_bytes: u64) -> Self {
-        assert!(queue_low_bytes < queue_high_bytes, "low threshold must be below high");
+        assert!(
+            queue_low_bytes < queue_high_bytes,
+            "low threshold must be below high"
+        );
         assert!(max_ton > SimDuration::ZERO, "max(T_on) must be positive");
         TcdConfig {
             max_ton,
@@ -650,11 +653,11 @@ mod tests {
         d.on_pause(SimTime::from_us(0));
         d.on_resume(SimTime::from_us(5));
         d.on_pause(SimTime::from_us(15)); // ON period = 10us
-        // Estimate = 10us, bound = 2x = 20us.
+                                          // Estimate = 10us, bound = 2x = 20us.
         assert_eq!(d.current_max_ton(), SimDuration::from_us(20));
         d.on_resume(SimTime::from_us(20));
         d.on_pause(SimTime::from_us(60)); // ON period = 40us
-        // Estimate = 0.5*10 + 0.5*40 = 25us, bound = 50us.
+                                          // Estimate = 0.5*10 + 0.5*40 = 25us, bound = 50us.
         assert_eq!(d.current_max_ton(), SimDuration::from_us(50));
     }
 

@@ -87,9 +87,7 @@ impl CodePoint {
         match (self, mark) {
             (CodePoint::NotCapable, _) => CodePoint::NotCapable,
             (cur, CodePoint::CongestionEncountered) => cur.max(CodePoint::CE),
-            (CodePoint::CongestionEncountered, CodePoint::UndeterminedEncountered) => {
-                CodePoint::CE
-            }
+            (CodePoint::CongestionEncountered, CodePoint::UndeterminedEncountered) => CodePoint::CE,
             (_, CodePoint::UndeterminedEncountered) => CodePoint::UE,
             (cur, _) => cur,
         }

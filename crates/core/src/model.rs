@@ -132,7 +132,12 @@ pub const RECOMMENDED_EPSILON: f64 = 0.05;
 /// `T_on` of a CBFC-regulated port in steady state (Eq. 4):
 /// `T_on = R_d·T_c / (R_d + ε·C)`, in seconds. Always strictly less than
 /// `T_c` for `ε > 0`, which is why `T_c` bounds `T_on` in InfiniBand.
-pub fn ib_ton_secs(drain_rate: Rate, update_period: SimDuration, epsilon: f64, capacity: Rate) -> f64 {
+pub fn ib_ton_secs(
+    drain_rate: Rate,
+    update_period: SimDuration,
+    epsilon: f64,
+    capacity: Rate,
+) -> f64 {
     let rd = drain_rate.as_bps() as f64;
     let c = capacity.as_bps() as f64;
     let tc = update_period.as_secs_f64();
@@ -204,9 +209,21 @@ mod tests {
         let m40 = cee_max_ton(Rate::from_gbps(40), 1000, tp, 0.05);
         let m100 = cee_max_ton(Rate::from_gbps(100), 1000, tp, 0.05);
         let m200 = cee_max_ton(Rate::from_gbps(200), 1000, tp, 0.05);
-        assert!(close(m40.as_us_f64(), 34.4, 0.01), "40G: {}", m40.as_us_f64());
-        assert!(close(m100.as_us_f64(), 26.96, 0.01), "100G: {}", m100.as_us_f64());
-        assert!(close(m200.as_us_f64(), 24.48, 0.01), "200G: {}", m200.as_us_f64());
+        assert!(
+            close(m40.as_us_f64(), 34.4, 0.01),
+            "40G: {}",
+            m40.as_us_f64()
+        );
+        assert!(
+            close(m100.as_us_f64(), 26.96, 0.01),
+            "100G: {}",
+            m100.as_us_f64()
+        );
+        assert!(
+            close(m200.as_us_f64(), 24.48, 0.01),
+            "200G: {}",
+            m200.as_us_f64()
+        );
     }
 
     #[test]

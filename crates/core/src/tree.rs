@@ -234,7 +234,9 @@ mod tests {
     fn isolated_snapshot() -> Snapshot {
         // Tree A: root 1 pauses 2, 3. Tree B: root 5 pauses 6.
         let mut s = Snapshot::new();
-        s.state(1, Congestion).state(2, Undetermined).state(3, Undetermined);
+        s.state(1, Congestion)
+            .state(2, Undetermined)
+            .state(3, Undetermined);
         s.state(5, Congestion).state(6, Undetermined);
         s.pause(1, 2).pause(1, 3).pause(5, 6);
         s
@@ -257,7 +259,9 @@ mod tests {
     fn overlapped_trees_share_leaves() {
         // Roots 1 and 5 both pause leaf 4.
         let mut s = Snapshot::new();
-        s.state(1, Congestion).state(5, Congestion).state(4, Undetermined);
+        s.state(1, Congestion)
+            .state(5, Congestion)
+            .state(4, Undetermined);
         s.pause(1, 4).pause(5, 4);
         let ts = trees(&s);
         assert_eq!(ts.len(), 2);
@@ -269,7 +273,9 @@ mod tests {
         // Deep tree: root 1 pauses 2, and 2's pressure pauses 3.
         // Port 2 is itself congested: a covered root with its own tree.
         let mut s = Snapshot::new();
-        s.state(1, Congestion).state(2, Congestion).state(3, Undetermined);
+        s.state(1, Congestion)
+            .state(2, Congestion)
+            .state(3, Undetermined);
         s.pause(1, 2).pause(2, 3);
         let ts = trees(&s);
         assert_eq!(ts.len(), 2);
@@ -299,7 +305,9 @@ mod tests {
         // Defensive: a cyclic pause pattern (possible with CBD loops in
         // non-tree topologies) must not hang the reconstruction.
         let mut s = Snapshot::new();
-        s.state(1, Congestion).state(2, Undetermined).state(3, Undetermined);
+        s.state(1, Congestion)
+            .state(2, Undetermined)
+            .state(3, Undetermined);
         s.pause(1, 2).pause(2, 3).pause(3, 1);
         let ts = trees(&s);
         assert_eq!(ts.len(), 1);
@@ -319,7 +327,9 @@ mod tests {
     #[test]
     fn cycle_detector_finds_the_loop() {
         let mut s = Snapshot::new();
-        s.state(1, Congestion).state(2, Undetermined).state(3, Undetermined);
+        s.state(1, Congestion)
+            .state(2, Undetermined)
+            .state(3, Undetermined);
         s.pause(1, 2).pause(2, 3).pause(3, 1);
         let cycles = pause_cycles(&s);
         assert_eq!(cycles.len(), 1);

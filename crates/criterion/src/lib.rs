@@ -1,0 +1,204 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the slice of criterion's surface the workspace's benches use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is simple wall-clock sampling:
+//! each sample times a batch of iterations sized to run ≥ ~2 ms, and the
+//! report prints min / median / mean ns-per-iteration to stdout.
+//! Results are also appended to the `CRITERION_JSON` file (one JSON
+//! object per line) when that environment variable is set, which is how
+//! the sweep harness collects before/after events-per-second numbers.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A single measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the batch size until one batch takes >= ~2 ms, so
+    // per-sample timing noise stays small relative to the measurement.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let m = Measurement {
+        id: id.to_string(),
+        iters_per_sample: iters,
+        samples,
+        min_ns: per_iter_ns[0],
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+    };
+    report(&m);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        m.id,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.median_ns),
+        fmt_ns(m.mean_ns),
+        m.samples,
+        m.iters_per_sample,
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                m.id.replace('"', "'"),
+                m.min_ns,
+                m.median_ns,
+                m.mean_ns,
+                m.samples,
+                m.iters_per_sample,
+            );
+        }
+    }
+}
+
+/// Collect benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -39,7 +39,10 @@ impl CbfcConfig {
     pub fn from_bytes(buffer_bytes: u64, update_period: SimDuration) -> Self {
         let blocks = buffer_bytes / crate::units::IB_CREDIT_BLOCK_BYTES;
         assert!(blocks > 0, "CBFC buffer must hold at least one block");
-        CbfcConfig { buffer_blocks: blocks, update_period }
+        CbfcConfig {
+            buffer_blocks: blocks,
+            update_period,
+        }
     }
 
     /// The paper's InfiniBand simulation setting: 280 KB ingress buffer per
@@ -58,10 +61,9 @@ impl CbfcConfig {
     /// `bps` — a sender must never stall for credits on an uncongested
     /// link.
     pub fn sustains_line_rate(&self, bps: u64, slack_bytes: u64) -> bool {
-        let needed = (bps as u128) * (self.update_period.as_ps() as u128)
-            / 8
-            / 1_000_000_000_000u128
-            + slack_bytes as u128;
+        let needed =
+            (bps as u128) * (self.update_period.as_ps() as u128) / 8 / 1_000_000_000_000u128
+                + slack_bytes as u128;
         (self.buffer_blocks as u128) * (crate::units::IB_CREDIT_BLOCK_BYTES as u128) > needed
     }
 
@@ -104,7 +106,12 @@ pub struct CbfcReceiver {
 impl CbfcReceiver {
     /// New receiver with an empty buffer.
     pub fn new(cfg: CbfcConfig) -> Self {
-        CbfcReceiver { cfg, abr: 0, occupied_blocks: 0, max_occupied: 0 }
+        CbfcReceiver {
+            cfg,
+            abr: 0,
+            occupied_blocks: 0,
+            max_occupied: 0,
+        }
     }
 
     /// Account an arriving packet of `bytes` (rounded up to whole blocks).
@@ -180,7 +187,11 @@ impl CbfcSender {
     /// New sender. At link initialization IB exchanges an initial FCCL equal
     /// to the whole receive buffer, so the sender starts with full credits.
     pub fn new(cfg: CbfcConfig) -> Self {
-        CbfcSender { fctbs: 0, fccl: cfg.buffer_blocks, credit_stalls: 0 }
+        CbfcSender {
+            fctbs: 0,
+            fccl: cfg.buffer_blocks,
+            credit_stalls: 0,
+        }
     }
 
     /// Whether a packet of `bytes` may be transmitted now.
@@ -237,7 +248,10 @@ mod tests {
     use crate::units::IB_CREDIT_BLOCK_BYTES;
 
     fn cfg() -> CbfcConfig {
-        CbfcConfig { buffer_blocks: 100, update_period: SimDuration::from_us(60) }
+        CbfcConfig {
+            buffer_blocks: 100,
+            update_period: SimDuration::from_us(60),
+        }
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
         assert_eq!(t.current_ton(SimTime::from_us(15)), SimDuration::ZERO);
         t.resume(SimTime::from_us(20));
         assert!(!t.is_off());
-        assert_eq!(t.current_ton(SimTime::from_us(50)), SimDuration::from_us(30));
+        assert_eq!(
+            t.current_ton(SimTime::from_us(50)),
+            SimDuration::from_us(30)
+        );
         assert_eq!(t.last_off_end(), Some(SimTime::from_us(20)));
     }
 
@@ -183,7 +186,10 @@ mod tests {
         let mut t = OnOffTracker::new();
         t.pause(SimTime::from_us(0));
         t.resume(SimTime::from_us(10));
-        assert_eq!(t.current_ton(SimTime::from_us(40)), SimDuration::from_us(30));
+        assert_eq!(
+            t.current_ton(SimTime::from_us(40)),
+            SimDuration::from_us(30)
+        );
         t.pause(SimTime::from_us(40));
         t.resume(SimTime::from_us(45));
         // T_on counts only from the most recent resume.

@@ -35,7 +35,10 @@ impl PfcConfig {
             xon_bytes < xoff_bytes,
             "PFC requires X_on ({xon_bytes}) < X_off ({xoff_bytes})"
         );
-        PfcConfig { xoff_bytes, xon_bytes }
+        PfcConfig {
+            xoff_bytes,
+            xon_bytes,
+        }
     }
 
     /// The paper's CEE simulation setting: `X_off` = 320 KB with a 2 KB

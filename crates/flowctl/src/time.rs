@@ -113,7 +113,10 @@ impl SimDuration {
     /// computed from the analytic model), not for clock arithmetic.
     #[inline]
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((us * 1e6).round() as u64)
     }
 

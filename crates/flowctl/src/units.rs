@@ -70,7 +70,10 @@ impl Rate {
     /// Used by congestion controllers for multiplicative rate updates.
     #[inline]
     pub fn scale(self, factor: f64) -> Rate {
-        assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be finite and >= 0");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be finite and >= 0"
+        );
         let v = self.0 as f64 * factor;
         if v >= u64::MAX as f64 {
             Rate(u64::MAX)
@@ -146,13 +149,25 @@ mod tests {
         // 1 byte at 40 Gbps = 200 ps exactly.
         assert_eq!(Rate::from_gbps(40).serialize_time(1).as_ps(), 200);
         // 1000-byte MTU at 40 Gbps = 200 ns.
-        assert_eq!(Rate::from_gbps(40).serialize_time(MTU_BYTES), SimDuration::from_ns(200));
+        assert_eq!(
+            Rate::from_gbps(40).serialize_time(MTU_BYTES),
+            SimDuration::from_ns(200)
+        );
         // 1000 bytes at 10 Gbps = 800 ns.
-        assert_eq!(Rate::from_gbps(10).serialize_time(1000), SimDuration::from_ns(800));
+        assert_eq!(
+            Rate::from_gbps(10).serialize_time(1000),
+            SimDuration::from_ns(800)
+        );
         // 1000 bytes at 100 Gbps = 80 ns.
-        assert_eq!(Rate::from_gbps(100).serialize_time(1000), SimDuration::from_ns(80));
+        assert_eq!(
+            Rate::from_gbps(100).serialize_time(1000),
+            SimDuration::from_ns(80)
+        );
         // 1000 bytes at 200 Gbps = 40 ns.
-        assert_eq!(Rate::from_gbps(200).serialize_time(1000), SimDuration::from_ns(40));
+        assert_eq!(
+            Rate::from_gbps(200).serialize_time(1000),
+            SimDuration::from_ns(40)
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl CcAction {
 
     /// A single timer request.
     pub fn timer(id: u32, delay: SimDuration) -> CcAction {
-        CcAction { timers: vec![(id, delay)] }
+        CcAction {
+            timers: vec![(id, delay)],
+        }
     }
 }
 
@@ -99,12 +101,18 @@ pub struct FixedRate {
 impl FixedRate {
     /// Always send at `rate`.
     pub fn new(rate: Rate) -> Self {
-        FixedRate { rate, configured: Some(rate) }
+        FixedRate {
+            rate,
+            configured: Some(rate),
+        }
     }
 
     /// Always send at the source NIC's line rate.
     pub fn line_rate() -> Self {
-        FixedRate { rate: Rate::ZERO, configured: None }
+        FixedRate {
+            rate: Rate::ZERO,
+            configured: None,
+        }
     }
 }
 
@@ -141,7 +149,12 @@ mod tests {
         let a = f.start(SimTime::ZERO, Rate::from_gbps(40));
         assert_eq!(a, CcAction::none());
         assert_eq!(f.rate(), Rate::from_gbps(5));
-        let _ = f.on_event(SimTime::ZERO, CcEvent::Feedback { code: CodePoint::CE });
+        let _ = f.on_event(
+            SimTime::ZERO,
+            CcEvent::Feedback {
+                code: CodePoint::CE,
+            },
+        );
         assert_eq!(f.rate(), Rate::from_gbps(5));
         assert_eq!(f.name(), "fixed");
     }

@@ -68,12 +68,14 @@ impl DetectorKind {
             DetectorKind::EcnRed(cfg) => Box::new(EcnRed::new(cfg, seed)),
             DetectorKind::IbFecn { threshold_bytes } => Box::new(IbFecn::new(threshold_bytes)),
             DetectorKind::Tcd(cfg) => Box::new(TcdDetector::new(cfg)),
-            DetectorKind::TcdRed(cfg, red) => {
-                Box::new(TcdDetector::with_legacy(cfg, LegacyScheme::Red(EcnRed::new(red, seed))))
-            }
-            DetectorKind::TcdFecn(cfg, threshold) => {
-                Box::new(TcdDetector::with_legacy(cfg, LegacyScheme::Fecn(IbFecn::new(threshold))))
-            }
+            DetectorKind::TcdRed(cfg, red) => Box::new(TcdDetector::with_legacy(
+                cfg,
+                LegacyScheme::Red(EcnRed::new(red, seed)),
+            )),
+            DetectorKind::TcdFecn(cfg, threshold) => Box::new(TcdDetector::with_legacy(
+                cfg,
+                LegacyScheme::Fecn(IbFecn::new(threshold)),
+            )),
             DetectorKind::NpEcn { threshold_bytes } => Box::new(IbFecn::new(threshold_bytes)),
         }
     }
@@ -200,7 +202,9 @@ impl SimConfig {
             data_prio: 1,
             feedback_prio: 0,
             flow_control: FlowControlMode::Cbfc(CbfcConfig::paper_simulation()),
-            detector: DetectorKind::IbFecn { threshold_bytes: 50 * 1024 },
+            detector: DetectorKind::IbFecn {
+                threshold_bytes: 50 * 1024,
+            },
             feedback: FeedbackMode::None,
             feedback_bytes: 64,
             end_time,
@@ -240,7 +244,9 @@ impl SimConfig {
     /// [`SimConfig::rto`]).
     pub fn lossy_baseline(end_time: SimTime, buffer_bytes: u64) -> SimConfig {
         let mut cfg = SimConfig::cee_baseline(end_time);
-        cfg.flow_control = FlowControlMode::Lossy { egress_buffer_bytes: buffer_bytes };
+        cfg.flow_control = FlowControlMode::Lossy {
+            egress_buffer_bytes: buffer_bytes,
+        };
         cfg.feedback = FeedbackMode::AckPerPacket;
         cfg.detector = DetectorKind::None;
         cfg
@@ -272,7 +278,10 @@ mod tests {
         assert_eq!(null.on_dequeue(&ctx), None);
         let mut red = DetectorKind::EcnRed(RedConfig::dcqcn_40g()).build(1);
         assert_eq!(red.on_dequeue(&ctx), Some(CodePoint::CE));
-        let mut fecn = DetectorKind::IbFecn { threshold_bytes: 50 * 1024 }.build(1);
+        let mut fecn = DetectorKind::IbFecn {
+            threshold_bytes: 50 * 1024,
+        }
+        .build(1);
         assert_eq!(fecn.on_dequeue(&ctx), Some(CodePoint::CE));
         let mut tcd = DetectorKind::Tcd(TcdConfig::new(
             SimDuration::from_us(30),

@@ -24,7 +24,7 @@ use lossless_flowctl::cbfc::{CbfcReceiver, CbfcSender};
 use lossless_flowctl::pfc::{PfcCommand, PfcEgress, PfcIngress};
 use lossless_flowctl::units::{CTRL_FRAME_BYTES, FCCL_FRAME_BYTES};
 use lossless_flowctl::{Rate, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use tcd_core::CodePoint;
 
@@ -47,8 +47,10 @@ struct SenderFlow {
     prio: u8,
     next_tx: SimTime,
     cc: Box<dyn RateController>,
-    /// Expected fire time per timer id (stale-timer guard).
-    timers: HashMap<u32, SimTime>,
+    /// Expected fire time per timer id (stale-timer guard). A `BTreeMap`
+    /// so any future iteration is in timer-id order — hash-order must
+    /// never leak into event scheduling.
+    timers: BTreeMap<u32, SimTime>,
 }
 
 /// Receiver-side state of one flow.
@@ -74,13 +76,14 @@ pub struct Host {
     /// instantly, so it mainly advertises credits back upstream).
     cbfc_rx: Vec<CbfcReceiver>,
     /// Outgoing link-local control frames (FCCL), sent before anything else.
-    ctrl: VecDeque<Packet>,
+    ctrl: VecDeque<Box<Packet>>,
     /// Outgoing end-to-end feedback packets awaiting the NIC.
-    feedback_q: VecDeque<Packet>,
+    feedback_q: VecDeque<Box<Packet>>,
     /// Active sender flows (small; linear scans are fine).
     active: Vec<SenderFlow>,
-    /// Receiver-side per-flow state.
-    rx: HashMap<FlowId, RxFlow>,
+    /// Receiver-side per-flow state, keyed in flow-id order (a
+    /// `BTreeMap`, for the same determinism reason as `SenderFlow::timers`).
+    rx: BTreeMap<FlowId, RxFlow>,
     /// Slow-receiver processing queue per priority (packet sizes awaiting
     /// host processing); empty and unused when `host_rx_rate` is `None`.
     rx_q: Vec<VecDeque<u64>>,
@@ -120,7 +123,7 @@ impl Host {
             ctrl: VecDeque::new(),
             feedback_q: VecDeque::new(),
             active: Vec::new(),
-            rx: HashMap::new(),
+            rx: BTreeMap::new(),
             rx_q: (0..n).map(|_| VecDeque::new()).collect(),
             rx_draining: false,
             rx_pfc,
@@ -140,7 +143,10 @@ impl Host {
 
     /// The current CC rate of an active flow, if still sending.
     pub fn flow_rate(&self, flow: FlowId) -> Option<Rate> {
-        self.active.iter().find(|f| f.id == flow).map(|f| f.cc.rate())
+        self.active
+            .iter()
+            .find(|f| f.id == flow)
+            .map(|f| f.cc.rate())
     }
 
     /// Start a flow: install its controller and kick the NIC.
@@ -164,14 +170,21 @@ impl Host {
             prio,
             next_tx: ctx.now,
             cc,
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
         };
         Self::apply_action(ctx, self.id, &mut flow, action);
         if ctx.cfg.is_lossy() {
             // Arm the retransmission timeout.
             let at = ctx.now + ctx.cfg.rto;
             flow.timers.insert(RTO_TIMER, at);
-            ctx.q.schedule(at, Event::CcTimer { node: self.id, flow: id, timer: RTO_TIMER });
+            ctx.q.schedule(
+                at,
+                Event::CcTimer {
+                    node: self.id,
+                    flow: id,
+                    timer: RTO_TIMER,
+                },
+            );
         }
         self.active.push(flow);
         self.kick(ctx);
@@ -181,7 +194,14 @@ impl Host {
         for (id, delay) in action.timers {
             let at = ctx.now + delay;
             flow.timers.insert(id, at);
-            ctx.q.schedule(at, Event::CcTimer { node: host, flow: flow.id, timer: id });
+            ctx.q.schedule(
+                at,
+                Event::CcTimer {
+                    node: host,
+                    flow: flow.id,
+                    timer: id,
+                },
+            );
         }
     }
 
@@ -204,7 +224,11 @@ impl Host {
                 flow.timers.insert(RTO_TIMER, at);
                 ctx.q.schedule(
                     at,
-                    Event::CcTimer { node: self.id, flow: flow_id, timer: RTO_TIMER },
+                    Event::CcTimer {
+                        node: self.id,
+                        flow: flow_id,
+                        timer: RTO_TIMER,
+                    },
                 );
             }
             self.kick(ctx);
@@ -219,7 +243,13 @@ impl Host {
     /// transmit.
     pub fn kick(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(at) = self.gate.want(ctx.now) {
-            ctx.q.schedule(at, Event::PortTx { node: self.id, port: 0 });
+            ctx.q.schedule(
+                at,
+                Event::PortTx {
+                    node: self.id,
+                    port: 0,
+                },
+            );
             self.gate.note_scheduled(at);
         }
     }
@@ -295,7 +325,13 @@ impl Host {
             // Nothing due now; wake when the earliest pacer allows.
             if let Some(w) = pacing_wake {
                 if let Some(at) = self.gate.want(w) {
-                    ctx.q.schedule(at, Event::PortTx { node: self.id, port: 0 });
+                    ctx.q.schedule(
+                        at,
+                        Event::PortTx {
+                            node: self.id,
+                            port: 0,
+                        },
+                    );
                     self.gate.note_scheduled(at);
                 }
             }
@@ -306,8 +342,16 @@ impl Host {
         let f = &mut self.active[i];
         let seg = mtu.min(f.size - f.sent);
         let last = f.sent + seg == f.size;
-        let mut pkt =
-            Packet::data(f.id, self.id, f.dst, seg, f.prio, f.sent, last, CodePoint::Capable);
+        let mut pkt = ctx.pool.boxed(Packet::data(
+            f.id,
+            self.id,
+            f.dst,
+            seg,
+            f.prio,
+            f.sent,
+            last,
+            CodePoint::Capable,
+        ));
         pkt.sent_at = ctx.now;
         f.sent += seg;
         // Pace the next segment at the CC rate.
@@ -329,7 +373,7 @@ impl Host {
     }
 
     /// Put a frame on the wire and schedule the next transmitter slot.
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, pkt: Packet, is_ib: bool, credit_gated: bool) {
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, pkt: Box<Packet>, is_ib: bool, credit_gated: bool) {
         if is_ib && credit_gated {
             self.cbfc_tx[pkt.prio as usize].on_send(pkt.size);
         }
@@ -337,21 +381,32 @@ impl Host {
         let ser = link.rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
-            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+            Event::PacketArrival {
+                node: link.peer,
+                in_port: link.peer_port,
+                pkt,
+            },
         );
         let free = self.gate.begin_tx(ctx.now, ser);
-        ctx.q.schedule(free, Event::PortTx { node: self.id, port: 0 });
+        ctx.q.schedule(
+            free,
+            Event::PortTx {
+                node: self.id,
+                port: 0,
+            },
+        );
         self.gate.note_scheduled(free);
     }
 
     /// A packet finished arriving at this host.
-    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut pkt: Box<Packet>) {
         match pkt.kind {
             PacketKind::Pause { prio, pause } => {
                 let changed = self.pfc_paused[prio as usize].on_frame(pause);
                 if changed && !pause {
                     self.kick(ctx);
                 }
+                ctx.pool.recycle(pkt);
             }
             PacketKind::Fccl { vl, fccl } => {
                 let tx = &mut self.cbfc_tx[vl as usize];
@@ -360,21 +415,36 @@ impl Host {
                     self.blocked_vl[vl as usize] = false;
                     self.kick(ctx);
                 }
+                ctx.pool.recycle(pkt);
             }
             PacketKind::Data => self.on_data(ctx, pkt),
-            PacketKind::Ack { data_sent_at, echo, acked_bytes } => {
+            PacketKind::Ack {
+                data_sent_at,
+                echo,
+                acked_bytes,
+            } => {
                 if ctx.cfg.is_lossy() {
                     self.on_reliable_ack(ctx, pkt.flow, acked_bytes);
                 }
                 let rtt = ctx.now.saturating_since(data_sent_at);
+                let flow = pkt.flow;
+                let int = std::mem::take(&mut pkt.int);
+                ctx.pool.recycle(pkt);
                 self.deliver_cc_event(
                     ctx,
-                    pkt.flow,
-                    CcEvent::Ack { rtt, code: echo, bytes: acked_bytes, int: pkt.int },
+                    flow,
+                    CcEvent::Ack {
+                        rtt,
+                        code: echo,
+                        bytes: acked_bytes,
+                        int,
+                    },
                 );
             }
             PacketKind::Cnp { code } => {
-                self.deliver_cc_event(ctx, pkt.flow, CcEvent::Feedback { code });
+                let flow = pkt.flow;
+                ctx.pool.recycle(pkt);
+                self.deliver_cc_event(ctx, flow, CcEvent::Feedback { code });
             }
         }
     }
@@ -396,7 +466,14 @@ impl Host {
             // Progress: push the RTO out.
             let at = ctx.now + ctx.cfg.rto;
             f.timers.insert(RTO_TIMER, at);
-            ctx.q.schedule(at, Event::CcTimer { node: self.id, flow: flow_id, timer: RTO_TIMER });
+            ctx.q.schedule(
+                at,
+                Event::CcTimer {
+                    node: self.id,
+                    flow: flow_id,
+                    timer: RTO_TIMER,
+                },
+            );
         } else {
             // Duplicate cumulative ACK: after three, fast-retransmit by
             // rewinding to the hole.
@@ -418,7 +495,7 @@ impl Host {
         }
     }
 
-    fn on_data(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, mut pkt: Box<Packet>) {
         if let Some(rate) = ctx.cfg.host_rx_rate {
             // Slow receiver: packets occupy the host's receive buffer until
             // the host processes them at `rate`; the backlog back-pressures
@@ -428,11 +505,14 @@ impl Host {
                 self.cbfc_rx[prio].on_packet_received(pkt.size);
                 // freed later, when processed
             } else if let Some(PfcCommand::SendPause) = self.rx_pfc[prio].on_enqueue(pkt.size) {
-                self.ctrl.push_back(Packet::link_local(
-                    PacketKind::Pause { prio: pkt.prio, pause: true },
+                self.ctrl.push_back(ctx.pool.boxed(Packet::link_local(
+                    PacketKind::Pause {
+                        prio: pkt.prio,
+                        pause: true,
+                    },
                     CTRL_FRAME_BYTES,
                     0,
-                ));
+                )));
                 ctx.trace.pause_frames += 1;
                 self.kick(ctx);
             }
@@ -463,7 +543,8 @@ impl Host {
         // construction, so every packet is new.
         let accept = !lossy || pkt.seq == st.bytes;
         if accept {
-            ctx.trace.on_deliver_at(ctx.now, pkt.flow, pkt.size, pkt.code);
+            ctx.trace
+                .on_deliver_at(ctx.now, pkt.flow, pkt.size, pkt.code);
             st.bytes += pkt.size;
             if st.bytes >= spec_size && !st.completed {
                 st.completed = true;
@@ -472,8 +553,11 @@ impl Host {
         }
 
         match ctx.cfg.feedback {
-            FeedbackMode::None => {}
-            FeedbackMode::CnpOnMarked { min_interval, notify_ue } => {
+            FeedbackMode::None => ctx.pool.recycle(pkt),
+            FeedbackMode::CnpOnMarked {
+                min_interval,
+                notify_ue,
+            } => {
                 let notify = pkt.code.is_ce() || (notify_ue && pkt.code.is_ue());
                 if notify {
                     let due = match st.last_cnp {
@@ -482,24 +566,29 @@ impl Host {
                     };
                     if due {
                         st.last_cnp = Some(ctx.now);
-                        let cnp = Packet::feedback(
+                        let cnp = ctx.pool.boxed(Packet::feedback(
                             pkt.flow,
                             self.id,
                             pkt.src,
                             ctx.cfg.feedback_bytes,
                             ctx.cfg.feedback_prio,
                             PacketKind::Cnp { code: pkt.code },
-                        );
+                        ));
                         self.feedback_q.push_back(cnp);
                         self.kick(ctx);
                     }
                 }
+                ctx.pool.recycle(pkt);
             }
             FeedbackMode::AckPerPacket => {
                 // Lossy mode carries the *cumulative* in-order byte count
                 // (the go-back-N ACK); lossless modes carry the segment
                 // size (TIMELY only uses the RTT).
-                let acked_bytes = if lossy { self.rx[&pkt.flow].bytes } else { pkt.size };
+                let acked_bytes = if lossy {
+                    self.rx[&pkt.flow].bytes
+                } else {
+                    pkt.size
+                };
                 let mut ack = Packet::feedback(
                     pkt.flow,
                     self.id,
@@ -512,9 +601,11 @@ impl Host {
                         acked_bytes,
                     },
                 );
-                // Echo the in-band telemetry back to the sender.
-                ack.int = pkt.int;
-                self.feedback_q.push_back(ack);
+                // Echo the in-band telemetry back to the sender, and reuse
+                // the delivered data packet's allocation for its ACK.
+                ack.int = std::mem::take(&mut pkt.int);
+                *pkt = ack;
+                self.feedback_q.push_back(pkt);
                 self.kick(ctx);
             }
         }
@@ -524,7 +615,9 @@ impl Host {
     /// packet: release the buffer space (PFC counter / CBFC credits) and
     /// start on the next packet.
     pub fn on_host_drain(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(rate) = ctx.cfg.host_rx_rate else { return };
+        let Some(rate) = ctx.cfg.host_rx_rate else {
+            return;
+        };
         // Strict priority: process the lowest-index non-empty queue.
         let Some(prio) = (0..self.rx_q.len()).find(|&p| !self.rx_q[p].is_empty()) else {
             self.rx_draining = false;
@@ -534,17 +627,23 @@ impl Host {
         if ctx.cfg.is_ib() {
             self.cbfc_rx[prio].on_buffer_freed(size);
         } else if let Some(PfcCommand::SendResume) = self.rx_pfc[prio].on_dequeue(size) {
-            self.ctrl.push_back(Packet::link_local(
-                PacketKind::Pause { prio: prio as u8, pause: false },
+            self.ctrl.push_back(ctx.pool.boxed(Packet::link_local(
+                PacketKind::Pause {
+                    prio: prio as u8,
+                    pause: false,
+                },
                 CTRL_FRAME_BYTES,
                 0,
-            ));
+            )));
             self.kick(ctx);
         }
         // Schedule the next processing completion, if any work remains.
         if let Some(next_prio) = (0..self.rx_q.len()).find(|&p| !self.rx_q[p].is_empty()) {
             let head = *self.rx_q[next_prio].front().unwrap();
-            ctx.q.schedule(ctx.now + rate.serialize_time(head), Event::HostDrain { node: self.id });
+            ctx.q.schedule(
+                ctx.now + rate.serialize_time(head),
+                Event::HostDrain { node: self.id },
+            );
         } else {
             self.rx_draining = false;
         }
@@ -554,14 +653,24 @@ impl Host {
     /// upstream and reschedule the tick.
     pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, vl: u8) {
         let rx = &self.cbfc_rx[vl as usize];
-        let msg = Packet::link_local(
-            PacketKind::Fccl { vl, fccl: rx.fccl() },
+        let msg = ctx.pool.boxed(Packet::link_local(
+            PacketKind::Fccl {
+                vl,
+                fccl: rx.fccl(),
+            },
             FCCL_FRAME_BYTES,
             ctx.cfg.feedback_prio,
-        );
+        ));
         let period = rx.update_period();
         self.ctrl.push_back(msg);
         self.kick(ctx);
-        ctx.q.schedule(ctx.now + period, Event::FcclTick { node: self.id, port: 0, vl });
+        ctx.q.schedule(
+            ctx.now + period,
+            Event::FcclTick {
+                node: self.id,
+                port: 0,
+                vl,
+            },
+        );
     }
 }

@@ -29,7 +29,7 @@ pub struct IbPort {
     /// Ingress: credit receivers per VL (this port's receive buffer).
     rx: Vec<CbfcReceiver>,
     /// Ingress: VoQs `[vl][out_port]` holding packets that arrived here.
-    voq: Vec<Vec<VecDeque<Packet>>>,
+    voq: Vec<Vec<VecDeque<Box<Packet>>>>,
     /// Egress: credit senders per VL (towards this port's peer).
     tx: Vec<CbfcSender>,
     /// Egress: wanted to send but lacked credits, per VL.
@@ -39,7 +39,7 @@ pub struct IbPort {
     /// them "delayed due to lack of credits" (the FECN victim input).
     block_epochs: Vec<u64>,
     /// Egress: link-local FCCL frames to emit.
-    ctrl: VecDeque<Packet>,
+    ctrl: VecDeque<Box<Packet>>,
     /// Egress: detector per VL.
     det: Vec<Box<dyn CongestionDetector>>,
     /// Earliest pending detector-timer event per VL.
@@ -124,7 +124,9 @@ impl IbSwitch {
         let ports = (0..n_ports)
             .map(|p| IbPort {
                 rx: (0..nvl).map(|_| CbfcReceiver::new(*cbfc_cfg)).collect(),
-                voq: (0..nvl).map(|_| (0..n_ports).map(|_| VecDeque::new()).collect()).collect(),
+                voq: (0..nvl)
+                    .map(|_| (0..n_ports).map(|_| VecDeque::new()).collect())
+                    .collect(),
                 tx: (0..nvl).map(|_| CbfcSender::new(*cbfc_cfg)).collect(),
                 blocked: vec![false; nvl],
                 block_epochs: vec![0; nvl],
@@ -139,7 +141,12 @@ impl IbSwitch {
                 tx_bytes: 0,
             })
             .collect();
-        IbSwitch { id, ports, vl_weights, feedback_vl }
+        IbSwitch {
+            id,
+            ports,
+            vl_weights,
+            feedback_vl,
+        }
     }
 
     /// Pick the order in which VLs are offered the transmitter: the
@@ -158,12 +165,14 @@ impl IbSwitch {
         // WRR pointer.
         let data_vls: Vec<usize> = (0..nvl).filter(|&v| v != fb).collect();
         let eligible = |p: &IbPort, v: usize| p.out_backlog[v] > 0;
-        let quantum_left =
-            |p: &IbPort, v: usize| p.wrr_deficit[v] > 0;
+        let quantum_left = |p: &IbPort, v: usize| p.wrr_deficit[v] > 0;
         // Refill when no backlogged VL has quantum left.
-        if !data_vls.iter().any(|&v| eligible(p, v) && quantum_left(p, v)) {
+        if !data_vls
+            .iter()
+            .any(|&v| eligible(p, v) && quantum_left(p, v))
+        {
             for &v in &data_vls {
-                let w = weights[v].max(0) as i64;
+                let w = weights[v] as i64;
                 p.wrr_deficit[v] = w * mtu as i64;
             }
         }
@@ -208,7 +217,13 @@ impl IbSwitch {
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
-            ctx.q.schedule(at, Event::PortTx { node: self.id, port });
+            ctx.q.schedule(
+                at,
+                Event::PortTx {
+                    node: self.id,
+                    port,
+                },
+            );
             gate.note_scheduled(at);
         }
     }
@@ -219,7 +234,14 @@ impl IbSwitch {
         let pend = &mut p.det_timer[vl as usize];
         if let Some(dl) = want {
             if pend.is_none_or(|t| dl < t) {
-                ctx.q.schedule(dl, Event::DetectorTimer { node: self.id, port, prio: vl });
+                ctx.q.schedule(
+                    dl,
+                    Event::DetectorTimer {
+                        node: self.id,
+                        port,
+                        prio: vl,
+                    },
+                );
                 *pend = Some(dl);
             }
         }
@@ -239,9 +261,8 @@ impl IbSwitch {
             }
             let rx = &ip.rx[vl as usize];
             let line = ctx.topo.link(self.id, i as u16).rate;
-            let line_blocks = lossless_flowctl::units::bytes_to_blocks(
-                line.bytes_in(rx.update_period()),
-            );
+            let line_blocks =
+                lossless_flowctl::units::bytes_to_blocks(line.bytes_in(rx.update_period()));
             rx.free_blocks() < line_blocks
         });
         {
@@ -264,17 +285,25 @@ impl IbSwitch {
         let p = &mut self.ports[port as usize];
         let fccl = p.rx[vl as usize].fccl();
         let period = p.rx[vl as usize].update_period();
-        p.ctrl.push_back(Packet::link_local(
+        let frame = ctx.pool.boxed(Packet::link_local(
             PacketKind::Fccl { vl, fccl },
             FCCL_FRAME_BYTES,
             0,
         ));
+        p.ctrl.push_back(frame);
         self.kick(ctx, port);
-        ctx.q.schedule(ctx.now + period, Event::FcclTick { node: self.id, port, vl });
+        ctx.q.schedule(
+            ctx.now + period,
+            Event::FcclTick {
+                node: self.id,
+                port,
+                vl,
+            },
+        );
     }
 
     /// A packet finished arriving through `in_port`.
-    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Packet) {
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Box<Packet>) {
         if let PacketKind::Fccl { vl, fccl } = pkt.kind {
             // Fresh credits for our egress on this link.
             let p = &mut self.ports[in_port as usize];
@@ -285,9 +314,13 @@ impl IbSwitch {
                 self.sync_det_timer(ctx, in_port, vl);
                 self.kick(ctx, in_port);
             }
+            ctx.pool.recycle(pkt);
             return;
         }
-        debug_assert!(!pkt.kind.is_link_local(), "PAUSE frame at an InfiniBand switch");
+        debug_assert!(
+            !pkt.kind.is_link_local(),
+            "PAUSE frame at an InfiniBand switch"
+        );
 
         // Buffer at this input; route to a VoQ.
         let vl = pkt.prio as usize;
@@ -299,7 +332,10 @@ impl IbSwitch {
             p.rx[vl].on_packet_received(pkt.size);
             p.voq[vl][out as usize].push_back(pkt);
         }
-        let size = self.ports[in_port as usize].voq[vl][out as usize].back().unwrap().size;
+        let size = self.ports[in_port as usize].voq[vl][out as usize]
+            .back()
+            .unwrap()
+            .size;
         self.ports[out as usize].out_backlog[vl] += size;
         self.kick(ctx, out);
     }
@@ -343,7 +379,10 @@ impl IbSwitch {
             if !self.ports[port as usize].tx[vl].can_send(head_size) {
                 // Out of credits: the head is a flow-control victim and
                 // this egress enters an OFF period.
-                self.ports[i].voq[vl][port as usize].front_mut().unwrap().delayed_by_fc = true;
+                self.ports[i].voq[vl][port as usize]
+                    .front_mut()
+                    .unwrap()
+                    .delayed_by_fc = true;
                 let p = &mut self.ports[port as usize];
                 p.tx[vl].note_credit_stall();
                 if !p.blocked[vl] {
@@ -369,8 +408,8 @@ impl IbSwitch {
                 // "Delayed due to lack of credits": the packet was at the
                 // head during a stall, or the egress stalled at any point
                 // while it waited (the block epoch advanced).
-                let delayed = pkt.delayed_by_fc
-                    || self.ports[port as usize].block_epochs[vl] > pkt.enq_epoch;
+                let delayed =
+                    pkt.delayed_by_fc || self.ports[port as usize].block_epochs[vl] > pkt.enq_epoch;
                 let dctx = DequeueContext {
                     now: ctx.now,
                     queue_bytes: q_incl,
@@ -395,16 +434,26 @@ impl IbSwitch {
         // Nothing sendable: idle until a kick (enqueue or FCCL arrival).
     }
 
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Packet) {
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
         let ser = link.rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
-            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+            Event::PacketArrival {
+                node: link.peer,
+                in_port: link.peer_port,
+                pkt,
+            },
         );
         let gate = &mut self.ports[port as usize].gate;
         let free = gate.begin_tx(ctx.now, ser);
-        ctx.q.schedule(free, Event::PortTx { node: self.id, port });
+        ctx.q.schedule(
+            free,
+            Event::PortTx {
+                node: self.id,
+                port,
+            },
+        );
         gate.note_scheduled(free);
     }
 }

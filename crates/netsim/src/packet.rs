@@ -177,8 +177,18 @@ impl Packet {
 
     /// Build an end-to-end feedback packet (ACK or CNP) from `src` to
     /// `dst` for `flow`.
-    pub fn feedback(flow: FlowId, src: NodeId, dst: NodeId, size: u64, prio: u8, kind: PacketKind) -> Packet {
-        debug_assert!(matches!(kind, PacketKind::Ack { .. } | PacketKind::Cnp { .. }));
+    pub fn feedback(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+        prio: u8,
+        kind: PacketKind,
+    ) -> Packet {
+        debug_assert!(matches!(
+            kind,
+            PacketKind::Ack { .. } | PacketKind::Cnp { .. }
+        ));
         Packet {
             flow,
             src,
@@ -203,13 +213,80 @@ impl Packet {
     }
 }
 
+/// Upper bound on retained free boxes, so the pool cannot outgrow the
+/// peak number of packets simultaneously in flight by much.
+const MAX_POOLED: usize = 4096;
+
+/// Recycling allocator for the packets that ride the event queue.
+///
+/// Packets move through the engine as `Box<Packet>`: a box is allocated
+/// once when the source NIC (or a switch's control plane) creates the
+/// packet, travels every hop by moving the 8-byte pointer through events
+/// and queues — never re-boxed on requeue — and returns here when the
+/// packet is consumed. `boxed` then reuses the allocation (and the INT
+/// vector's capacity) for the next packet, so steady-state forwarding
+/// performs no per-event heap allocation.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    // The boxes themselves are the resource being pooled: events hold
+    // `Box<Packet>`, so recycling must keep each allocation intact.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Packet>>,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PacketPool::default()
+    }
+
+    /// Number of boxes currently available for reuse.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Box `pkt`, reusing a recycled allocation when one is available.
+    pub fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        match self.free.pop() {
+            Some(mut b) => {
+                let mut spare = std::mem::take(&mut b.int);
+                *b = pkt;
+                // Keep the recycled INT vector's capacity unless the new
+                // packet brought its own records (an ACK echoing INT).
+                if b.int.is_empty() && spare.capacity() > 0 {
+                    spare.clear();
+                    b.int = spare;
+                }
+                b
+            }
+            None => Box::new(pkt),
+        }
+    }
+
+    /// Return a consumed packet's allocation for reuse.
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        if self.free.len() < MAX_POOLED {
+            self.free.push(pkt);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn data_packet_fields() {
-        let p = Packet::data(FlowId(3), NodeId(0), NodeId(1), 1000, 1, 4000, false, CodePoint::Capable);
+        let p = Packet::data(
+            FlowId(3),
+            NodeId(0),
+            NodeId(1),
+            1000,
+            1,
+            4000,
+            false,
+            CodePoint::Capable,
+        );
         assert!(p.is_data());
         assert!(!p.kind.is_link_local());
         assert_eq!(p.size, 1000);
@@ -219,11 +296,89 @@ mod tests {
 
     #[test]
     fn control_frames_are_link_local() {
-        let pause = Packet::link_local(PacketKind::Pause { prio: 1, pause: true }, 64, 0);
+        let pause = Packet::link_local(
+            PacketKind::Pause {
+                prio: 1,
+                pause: true,
+            },
+            64,
+            0,
+        );
         assert!(pause.kind.is_link_local());
         assert_eq!(pause.flow, CTRL_FLOW);
         let fccl = Packet::link_local(PacketKind::Fccl { vl: 1, fccl: 42 }, 64, 0);
         assert!(fccl.kind.is_link_local());
+    }
+
+    #[test]
+    fn pool_reuses_allocations_and_int_capacity() {
+        let mut pool = PacketPool::new();
+        let mut p = pool.boxed(Packet::data(
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            1000,
+            1,
+            0,
+            false,
+            CodePoint::Capable,
+        ));
+        p.int.push(IntHop {
+            qlen_bytes: 1,
+            tx_bytes: 2,
+            ts: SimTime::ZERO,
+            rate: Rate::from_gbps(40),
+        });
+        let cap = p.int.capacity();
+        let addr = &*p as *const Packet as usize;
+        pool.recycle(p);
+        assert_eq!(pool.pooled(), 1);
+        let q = pool.boxed(Packet::link_local(
+            PacketKind::Pause {
+                prio: 1,
+                pause: true,
+            },
+            64,
+            0,
+        ));
+        assert_eq!(&*q as *const Packet as usize, addr, "allocation not reused");
+        assert!(q.int.is_empty());
+        assert!(q.int.capacity() >= cap, "INT capacity not retained");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_keeps_incoming_int_records() {
+        let mut pool = PacketPool::new();
+        pool.recycle(Box::new(Packet::link_local(
+            PacketKind::Pause {
+                prio: 0,
+                pause: true,
+            },
+            64,
+            0,
+        )));
+        let mut ack = Packet::feedback(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            64,
+            0,
+            PacketKind::Ack {
+                data_sent_at: SimTime::ZERO,
+                echo: CodePoint::Capable,
+                acked_bytes: 1000,
+            },
+        );
+        ack.int.push(IntHop {
+            qlen_bytes: 7,
+            tx_bytes: 8,
+            ts: SimTime::ZERO,
+            rate: Rate::from_gbps(100),
+        });
+        let b = pool.boxed(ack);
+        assert_eq!(b.int.len(), 1, "echoed INT records must survive pooling");
+        assert_eq!(b.int[0].qlen_bytes, 7);
     }
 
     #[test]
@@ -234,7 +389,9 @@ mod tests {
             NodeId(6),
             64,
             0,
-            PacketKind::Cnp { code: CodePoint::CE },
+            PacketKind::Cnp {
+                code: CodePoint::CE,
+            },
         );
         assert!(!cnp.is_data());
         assert!(!cnp.kind.is_link_local());

@@ -81,7 +81,11 @@ impl Routing {
             }
         }
 
-        Routing { table, dst_index, select }
+        Routing {
+            table,
+            dst_index,
+            select,
+        }
     }
 
     /// The egress port `node` should use to forward `flow` towards `dst`.
@@ -125,7 +129,13 @@ impl Routing {
 
     /// The path a given flow takes from `src` to `dst`, as a list of
     /// `(node, egress port)` hops. Useful for assertions in tests.
-    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId, flow: FlowId) -> Vec<(NodeId, u16)> {
+    pub fn path(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+    ) -> Vec<(NodeId, u16)> {
         let mut hops = Vec::new();
         let mut cur = src;
         while cur != dst {

@@ -6,7 +6,7 @@ use crate::config::{FlowControlMode, SimConfig};
 use crate::event::{Event, EventQueue};
 use crate::host::Host;
 use crate::ibswitch::IbSwitch;
-use crate::packet::FlowId;
+use crate::packet::{FlowId, PacketPool};
 use crate::routing::{RouteSelect, Routing};
 use crate::switch::EthSwitch;
 use crate::topology::{NodeId, NodeKind, Topology};
@@ -47,6 +47,9 @@ pub struct Ctx<'a> {
     pub trace: &'a mut Trace,
     /// Flow specs (indexed by `FlowId.0`).
     pub flows: &'a [FlowSpec],
+    /// Recycling allocator for packets; handlers box new packets through
+    /// it and return consumed ones to it.
+    pub pool: &'a mut PacketPool,
 }
 
 // Hosts are by far the largest variant, but the node table is tiny (one
@@ -68,6 +71,8 @@ pub struct Simulator {
     flows: Vec<FlowSpec>,
     /// Controllers waiting for their flow's start event.
     pending_cc: Vec<Option<Box<dyn RateController>>>,
+    /// Packet allocation pool shared by all nodes.
+    pool: PacketPool,
     /// Collected measurements.
     pub trace: Trace,
 }
@@ -149,7 +154,11 @@ impl Simulator {
                         );
                         queue.schedule(
                             SimTime::ZERO + offset,
-                            Event::FcclTick { node: id, port: p, vl },
+                            Event::FcclTick {
+                                node: id,
+                                port: p,
+                                vl,
+                            },
                         );
                         stagger += 1;
                     }
@@ -158,11 +167,24 @@ impl Simulator {
         }
 
         let trace = Trace::new(false);
-        if cfg.trace_interval.is_some() {
+        // Trace ticks only do per-sample-port work; with nothing to
+        // sample they would be pure event-loop overhead, so skip the
+        // whole tick train.
+        if cfg.trace_interval.is_some() && !cfg.sample_ports.is_empty() {
             queue.schedule(SimTime::ZERO, Event::TraceTick);
         }
 
-        Simulator { topo, routing, cfg, queue, nodes, flows: Vec::new(), pending_cc: Vec::new(), trace }
+        Simulator {
+            topo,
+            routing,
+            cfg,
+            queue,
+            nodes,
+            flows: Vec::new(),
+            pending_cc: Vec::new(),
+            pool: PacketPool::new(),
+            trace,
+        }
     }
 
     /// Record individual [`MarkEvent`](crate::trace::MarkEvent)s (off by
@@ -199,12 +221,27 @@ impl Simulator {
         prio: u8,
         cc: Box<dyn RateController>,
     ) -> FlowId {
-        assert_eq!(self.topo.kind(src), NodeKind::Host, "flow source must be a host");
-        assert_eq!(self.topo.kind(dst), NodeKind::Host, "flow destination must be a host");
+        assert_eq!(
+            self.topo.kind(src),
+            NodeKind::Host,
+            "flow source must be a host"
+        );
+        assert_eq!(
+            self.topo.kind(dst),
+            NodeKind::Host,
+            "flow destination must be a host"
+        );
         assert!(size > 0, "flows must carry at least one byte");
         assert!(prio < self.cfg.num_prios);
         let id = FlowId(self.flows.len() as u32);
-        self.flows.push(FlowSpec { id, src, dst, size, start, prio });
+        self.flows.push(FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            prio,
+        });
         self.pending_cc.push(Some(cc));
         self.trace.flows.push(FlowRecord {
             flow: id,
@@ -253,10 +290,17 @@ impl Simulator {
         }
     }
 
-    /// Run until the configured end time (or the event queue drains).
-    pub fn run(&mut self) {
-        let end = self.cfg.end_time;
-        while let Some(t) = self.queue.peek_time() {
+    /// The single inner event loop every `run*` entry point drives:
+    /// dispatch events at or before `until` (clamped to the configured
+    /// end time), optionally stopping early once all registered flows
+    /// have completed.
+    fn drive(&mut self, until: SimTime, stop_when_complete: bool) {
+        let end = until.min(self.cfg.end_time);
+        let total = self.flows.len();
+        while !(stop_when_complete && self.trace.completed_count >= total) {
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
             if t > end {
                 break;
             }
@@ -265,19 +309,17 @@ impl Simulator {
         }
     }
 
+    /// Run until the configured end time (or the event queue drains).
+    pub fn run(&mut self) {
+        self.drive(SimTime::MAX, false);
+    }
+
     /// Run only the events at or before `until` (which must not exceed the
     /// configured end time). Lets callers interleave simulation with
     /// inspection — e.g. taking congestion-tree snapshots mid-run — and
     /// then continue with another `run_until`/`run` call.
     pub fn run_until(&mut self, until: SimTime) {
-        let end = until.min(self.cfg.end_time);
-        while let Some(t) = self.queue.peek_time() {
-            if t > end {
-                break;
-            }
-            let (now, ev) = self.queue.pop().unwrap();
-            self.dispatch(now, ev);
-        }
+        self.drive(until, false);
     }
 
     /// Snapshot the network's detection state for `prio`: every switch
@@ -347,20 +389,12 @@ impl Simulator {
     /// end time is reached (whichever comes first). Returns `true` if all
     /// flows completed.
     pub fn run_until_all_complete(&mut self) -> bool {
-        let end = self.cfg.end_time;
-        let total = self.flows.len();
-        while self.trace.completed_count < total {
-            let Some(t) = self.queue.peek_time() else { break };
-            if t > end {
-                break;
-            }
-            let (now, ev) = self.queue.pop().unwrap();
-            self.dispatch(now, ev);
-        }
-        self.trace.completed_count == total
+        self.drive(SimTime::MAX, true);
+        self.trace.completed_count == self.flows.len()
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
+        self.trace.events += 1;
         // Split borrows: nodes vs the rest of the context.
         macro_rules! ctx {
             () => {
@@ -372,6 +406,7 @@ impl Simulator {
                     cfg: &self.cfg,
                     trace: &mut self.trace,
                     flows: &self.flows,
+                    pool: &mut self.pool,
                 }
             };
         }
@@ -551,11 +586,20 @@ mod tests {
             SimConfig::cee_baseline(SimTime::from_ms(10)),
             crate::routing::RouteSelect::Ecmp,
         );
-        sim.add_flow(db.h0, db.h1, 10_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            db.h0,
+            db.h1,
+            10_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
         sim.run_until(SimTime::from_ms(1));
         assert!(sim.now() <= SimTime::from_ms(1));
         let partial = sim.trace.flows[0].delivered.bytes;
-        assert!(partial > 0 && partial < 10_000_000, "mid-flight at 1 ms: {partial}");
+        assert!(
+            partial > 0 && partial < 10_000_000,
+            "mid-flight at 1 ms: {partial}"
+        );
         sim.run();
         assert_eq!(sim.trace.flows[0].delivered.bytes, 10_000_000);
     }
@@ -569,6 +613,12 @@ mod tests {
             SimConfig::cee_baseline(SimTime::from_ms(1)),
             crate::routing::RouteSelect::Ecmp,
         );
-        let _ = sim.add_flow(db.sw, db.h1, 1000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        let _ = sim.add_flow(
+            db.sw,
+            db.h1,
+            1000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
 }

@@ -25,12 +25,12 @@ use tcd_core::TernaryState;
 /// One port of an Ethernet switch (egress queues + ingress accounting).
 pub struct EthPort {
     /// Per-priority egress FIFO.
-    q: Vec<VecDeque<Packet>>,
+    q: Vec<VecDeque<Box<Packet>>>,
     /// Per-priority queued bytes.
     qbytes: Vec<u64>,
     /// Link-local control frames (PAUSE/RESUME) to send out this port;
     /// preempt all data.
-    ctrl: VecDeque<Packet>,
+    ctrl: VecDeque<Box<Packet>>,
     /// Pause state of this egress per priority (set by the downstream
     /// switch's PAUSE frames).
     paused: Vec<PfcEgress>,
@@ -104,7 +104,9 @@ impl EthSwitch {
     ) -> EthSwitch {
         let (pfc_cfg, drop_tail) = match fc {
             FlowControlMode::Pfc(p) => (*p, None),
-            FlowControlMode::Lossy { egress_buffer_bytes } => {
+            FlowControlMode::Lossy {
+                egress_buffer_bytes,
+            } => {
                 // PFC machinery is instantiated but the thresholds are
                 // unreachable (drop-tail caps the buffers far below them).
                 (
@@ -129,7 +131,13 @@ impl EthSwitch {
                 tx_bytes: 0,
             })
             .collect();
-        EthSwitch { id, ports, buffered: 0, max_buffered: 0, drop_tail }
+        EthSwitch {
+            id,
+            ports,
+            buffered: 0,
+            max_buffered: 0,
+            drop_tail,
+        }
     }
 
     /// Access a port (for traces and tests).
@@ -140,7 +148,13 @@ impl EthSwitch {
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
-            ctx.q.schedule(at, Event::PortTx { node: self.id, port });
+            ctx.q.schedule(
+                at,
+                Event::PortTx {
+                    node: self.id,
+                    port,
+                },
+            );
             gate.note_scheduled(at);
         }
     }
@@ -148,8 +162,11 @@ impl EthSwitch {
     /// Push a PAUSE/RESUME frame out through `port` (towards the upstream
     /// node that is over/under-filling us).
     fn send_pfc(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8, pause: bool) {
-        let frame =
-            Packet::link_local(PacketKind::Pause { prio, pause }, CTRL_FRAME_BYTES, 0);
+        let frame = ctx.pool.boxed(Packet::link_local(
+            PacketKind::Pause { prio, pause },
+            CTRL_FRAME_BYTES,
+            0,
+        ));
         self.ports[port as usize].ctrl.push_back(frame);
         ctx.trace.pause_frames += 1;
         self.kick(ctx, port);
@@ -162,7 +179,14 @@ impl EthSwitch {
         let pend = &mut p.det_timer[prio as usize];
         if let Some(dl) = want {
             if pend.is_none_or(|t| dl < t) {
-                ctx.q.schedule(dl, Event::DetectorTimer { node: self.id, port, prio });
+                ctx.q.schedule(
+                    dl,
+                    Event::DetectorTimer {
+                        node: self.id,
+                        port,
+                        prio,
+                    },
+                );
                 *pend = Some(dl);
             }
         }
@@ -193,7 +217,7 @@ impl EthSwitch {
     }
 
     /// A packet finished arriving through `in_port`.
-    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Packet) {
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Box<Packet>) {
         if let PacketKind::Pause { prio, pause } = pkt.kind {
             // PAUSE from the downstream node on this link: gate our egress.
             let p = &mut self.ports[in_port as usize];
@@ -208,9 +232,13 @@ impl EthSwitch {
                     self.kick(ctx, in_port);
                 }
             }
+            ctx.pool.recycle(pkt);
             return;
         }
-        debug_assert!(!pkt.kind.is_link_local(), "FCCL frame at an Ethernet switch");
+        debug_assert!(
+            !pkt.kind.is_link_local(),
+            "FCCL frame at an Ethernet switch"
+        );
 
         // Forward: enqueue at the routed egress, account the ingress.
         let out = ctx.routing.out_port(self.id, pkt.dst, pkt.flow);
@@ -220,6 +248,7 @@ impl EthSwitch {
         if let Some(limit) = self.drop_tail {
             if pkt.is_data() && self.ports[out as usize].qbytes[prio] + pkt.size > limit {
                 ctx.trace.drops += 1;
+                ctx.pool.recycle(pkt);
                 return;
             }
         }
@@ -289,10 +318,12 @@ impl EthSwitch {
         if pkt.is_data() && pkt.prio == ctx.cfg.data_prio {
             // "Delayed by flow control": the egress was paused at some
             // point while this packet waited (pause-epoch advanced).
-            let delayed =
-                self.ports[port as usize].pause_epochs[prio] > pkt.enq_epoch;
-            let dctx =
-                DequeueContext { now: ctx.now, queue_bytes: q_incl, delayed_by_fc: delayed };
+            let delayed = self.ports[port as usize].pause_epochs[prio] > pkt.enq_epoch;
+            let dctx = DequeueContext {
+                now: ctx.now,
+                queue_bytes: q_incl,
+                delayed_by_fc: delayed,
+            };
             let decision = self.ports[port as usize].det[prio].on_dequeue(&dctx);
             if let Some(mark) = decision {
                 pkt.code = pkt.code.apply(mark);
@@ -315,16 +346,26 @@ impl EthSwitch {
         self.transmit(ctx, port, pkt);
     }
 
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Packet) {
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
         let ser = link.rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
-            Event::PacketArrival { node: link.peer, in_port: link.peer_port, pkt },
+            Event::PacketArrival {
+                node: link.peer,
+                in_port: link.peer_port,
+                pkt,
+            },
         );
         let gate = &mut self.ports[port as usize].gate;
         let free = gate.begin_tx(ctx.now, ser);
-        ctx.q.schedule(free, Event::PortTx { node: self.id, port });
+        ctx.q.schedule(
+            free,
+            Event::PortTx {
+                node: self.id,
+                port,
+            },
+        );
         gate.note_scheduled(free);
     }
 }

@@ -60,7 +60,11 @@ pub struct Topology {
 impl Topology {
     /// Start building a topology.
     pub fn builder() -> TopologyBuilder {
-        TopologyBuilder { kinds: Vec::new(), names: Vec::new(), ports: Vec::new() }
+        TopologyBuilder {
+            kinds: Vec::new(),
+            names: Vec::new(),
+            ports: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -115,7 +119,10 @@ impl Topology {
 
     /// Look a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
     }
 }
 
@@ -153,14 +160,28 @@ impl TopologyBuilder {
         assert_ne!(a, b, "self-links are not allowed");
         let pa = self.ports[a.index()].len() as u16;
         let pb = self.ports[b.index()].len() as u16;
-        self.ports[a.index()].push(LinkEnd { peer: b, peer_port: pb, rate, delay });
-        self.ports[b.index()].push(LinkEnd { peer: a, peer_port: pa, rate, delay });
+        self.ports[a.index()].push(LinkEnd {
+            peer: b,
+            peer_port: pb,
+            rate,
+            delay,
+        });
+        self.ports[b.index()].push(LinkEnd {
+            peer: a,
+            peer_port: pa,
+            rate,
+            delay,
+        });
         (pa, pb)
     }
 
     /// Finish building.
     pub fn build(self) -> Topology {
-        let topo = Topology { kinds: self.kinds, names: self.names, ports: self.ports };
+        let topo = Topology {
+            kinds: self.kinds,
+            names: self.names,
+            ports: self.ports,
+        };
         for (i, k) in topo.kinds.iter().enumerate() {
             if *k == NodeKind::Host {
                 assert_eq!(
@@ -394,21 +415,27 @@ pub struct FatTree {
 /// Build a k-ary fat-tree with uniform link rate and delay. `k` must be
 /// even and at least 2.
 pub fn fat_tree(k: usize, rate: Rate, delay: SimDuration) -> FatTree {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let mut b = Topology::builder();
 
-    let cores: Vec<NodeId> =
-        (0..half * half).map(|i| b.switch(format!("core{i}"))).collect();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| b.switch(format!("core{i}")))
+        .collect();
     let mut edges = Vec::with_capacity(k * half);
     let mut aggs = Vec::with_capacity(k * half);
     let mut hosts = Vec::with_capacity(k * half * half);
 
     for pod in 0..k {
-        let pod_aggs: Vec<NodeId> =
-            (0..half).map(|i| b.switch(format!("agg{pod}_{i}"))).collect();
-        let pod_edges: Vec<NodeId> =
-            (0..half).map(|i| b.switch(format!("edge{pod}_{i}"))).collect();
+        let pod_aggs: Vec<NodeId> = (0..half)
+            .map(|i| b.switch(format!("agg{pod}_{i}")))
+            .collect();
+        let pod_edges: Vec<NodeId> = (0..half)
+            .map(|i| b.switch(format!("edge{pod}_{i}")))
+            .collect();
         // Edge <-> aggregation full mesh within the pod.
         for &e in &pod_edges {
             for &a in &pod_aggs {
@@ -433,7 +460,14 @@ pub fn fat_tree(k: usize, rate: Rate, delay: SimDuration) -> FatTree {
         edges.extend(pod_edges);
     }
 
-    FatTree { topo: b.build(), hosts, edges, aggs, cores, k }
+    FatTree {
+        topo: b.build(),
+        hosts,
+        edges,
+        aggs,
+        cores,
+        k,
+    }
 }
 
 /// A two-tier leaf-spine topology with `leaves × hosts_per_leaf` hosts.
@@ -474,7 +508,12 @@ pub fn leaf_spine(
         }
         leaf_ids.push(leaf);
     }
-    LeafSpine { topo: b.build(), hosts, leaves: leaf_ids, spines: spine_ids }
+    LeafSpine {
+        topo: b.build(),
+        hosts,
+        leaves: leaf_ids,
+        spines: spine_ids,
+    }
 }
 
 /// The minimal topology: two hosts joined by one switch (unit tests) —
@@ -499,7 +538,12 @@ pub fn dumbbell(rate: Rate, delay: SimDuration) -> Dumbbell {
     let h1 = b.host("h1");
     b.link(h0, sw, rate, delay);
     b.link(h1, sw, rate, delay);
-    Dumbbell { topo: b.build(), h0, h1, sw }
+    Dumbbell {
+        topo: b.build(),
+        h0,
+        h1,
+        sw,
+    }
 }
 
 #[cfg(test)]
@@ -558,7 +602,10 @@ mod tests {
 
     #[test]
     fn figure2_with_b_hosts() {
-        let f = figure2(Figure2Options { with_b_hosts: true, ..Default::default() });
+        let f = figure2(Figure2Options {
+            with_b_hosts: true,
+            ..Default::default()
+        });
         assert_eq!(f.b_hosts.len(), 4);
         let l0 = f.l0.unwrap();
         assert_eq!(f.topo.port_towards(l0, f.t[2]).map(|_| ()), Some(()));

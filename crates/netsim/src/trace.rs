@@ -10,7 +10,7 @@
 use crate::packet::FlowId;
 use crate::topology::NodeId;
 use lossless_flowctl::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcd_core::{CodePoint, TernaryState};
 
 /// One periodic sample of an egress (port, priority).
@@ -126,19 +126,31 @@ pub struct Trace {
     pub forwarded_pkts: u64,
     /// Packets dropped (lossy mode only; always 0 in lossless modes).
     pub drops: u64,
+    /// Total events dispatched by the engine (throughput accounting:
+    /// events ÷ wall time is the headline simulator-performance metric).
+    pub events: u64,
 }
 
 impl Trace {
     /// Fresh, empty trace.
     pub fn new(record_marks: bool) -> Self {
-        Trace { record_marks, ..Default::default() }
+        Trace {
+            record_marks,
+            ..Default::default()
+        }
     }
 
     /// Record a marking decision at a switch egress.
     #[inline]
     pub fn on_mark(&mut self, t: SimTime, node: NodeId, port: u16, flow: FlowId, code: CodePoint) {
         if self.record_marks {
-            self.marks.push(MarkEvent { t, node, port, flow, code });
+            self.marks.push(MarkEvent {
+                t,
+                node,
+                port,
+                flow,
+                code,
+            });
         }
     }
 
@@ -154,7 +166,12 @@ impl Trace {
             _ => {}
         }
         if self.record_deliveries {
-            self.deliveries.push(DeliveryEvent { t, flow, code, bytes });
+            self.deliveries.push(DeliveryEvent {
+                t,
+                flow,
+                code,
+                bytes,
+            });
         }
     }
 
@@ -207,7 +224,9 @@ impl Trace {
     }
 
     /// Summary map flow → delivered stats (convenience for experiments).
-    pub fn delivered_map(&self) -> HashMap<FlowId, Delivered> {
+    /// A `BTreeMap` so iteration order is the flow-id order — experiment
+    /// output derived by walking this map is deterministic.
+    pub fn delivered_map(&self) -> BTreeMap<FlowId, Delivered> {
         self.flows.iter().map(|f| (f.flow, f.delivered)).collect()
     }
 }

@@ -15,8 +15,20 @@ fn pfc_pauses_a_two_to_one_incast_and_nothing_is_lost() {
     let mut cfg = SimConfig::cee_baseline(SimTime::from_ms(10));
     cfg.detector = DetectorKind::None;
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
-    let a = sim.add_flow(f2.bursters[0], f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
-    let b = sim.add_flow(f2.bursters[1], f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let a = sim.add_flow(
+        f2.bursters[0],
+        f2.r1,
+        1_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
+    let b = sim.add_flow(
+        f2.bursters[1],
+        f2.r1,
+        1_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     assert!(sim.trace.pause_frames >= 2, "PAUSE + RESUME expected");
     for f in [a, b] {
@@ -25,7 +37,9 @@ fn pfc_pauses_a_two_to_one_incast_and_nothing_is_lost() {
     // Aggregate throughput equals the bottleneck: last completion at
     // >= 2 MB / 40 Gbps.
     let t_done = sim.trace.completed().map(|r| r.end.unwrap()).max().unwrap();
-    assert!(t_done.saturating_since(SimTime::ZERO) >= Rate::from_gbps(40).serialize_time(2_000_000));
+    assert!(
+        t_done.saturating_since(SimTime::ZERO) >= Rate::from_gbps(40).serialize_time(2_000_000)
+    );
 }
 
 #[test]
@@ -37,7 +51,13 @@ fn cbfc_credit_loop_throttles_exactly_to_line_rate() {
     let cfg = SimConfig::ib_baseline(SimTime::from_ms(10));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::DModK);
     let size = 10_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let fct = sim.trace.flows[f.0 as usize].fct().expect("completed");
     let ideal = Rate::from_gbps(40).serialize_time(size);
@@ -56,8 +76,20 @@ fn nic_paces_flows_independently() {
     let mut cfg = SimConfig::cee_baseline(SimTime::from_ms(50));
     cfg.detector = DetectorKind::None;
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::Ecmp);
-    let fast = sim.add_flow(db.h0, db.h1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::new(Rate::from_gbps(20))));
-    let slow = sim.add_flow(db.h0, db.h1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::new(Rate::from_gbps(5))));
+    let fast = sim.add_flow(
+        db.h0,
+        db.h1,
+        2_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::new(Rate::from_gbps(20))),
+    );
+    let slow = sim.add_flow(
+        db.h0,
+        db.h1,
+        2_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::new(Rate::from_gbps(5))),
+    );
     sim.run();
     let t_fast = sim.trace.flows[fast.0 as usize].fct().unwrap();
     let t_slow = sim.trace.flows[slow.0 as usize].fct().unwrap();
@@ -109,11 +141,20 @@ fn cnp_feedback_is_rate_limited_per_flow() {
         f2.r1,
         30_000_000,
         SimTime::ZERO,
-        Box::new(Counter { rate: Rate::ZERO, feedbacks: count.clone() }),
+        Box::new(Counter {
+            rate: Rate::ZERO,
+            feedbacks: count.clone(),
+        }),
     );
     // Create congestion at R1 so the flow's packets are ECN-marked.
     for &a in f2.bursters.iter().take(6) {
-        sim.add_flow(a, f2.r1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            2_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     // 5 ms / 50 us = at most 100 CNPs (plus one initial).
@@ -135,7 +176,13 @@ fn feedback_priority_is_isolated_from_data_congestion() {
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
     sim.record_marks(true);
     for &a in f2.bursters.iter().take(8) {
-        sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     assert!(!sim.trace.marks.is_empty(), "data packets should be marked");
@@ -185,8 +232,10 @@ fn ue_notifications_require_opt_in() {
             200 * 1024,
             5 * 1024,
         ));
-        cfg.feedback =
-            FeedbackMode::CnpOnMarked { min_interval: SimDuration::from_us(50), notify_ue };
+        cfg.feedback = FeedbackMode::CnpOnMarked {
+            min_interval: SimDuration::from_us(50),
+            notify_ue,
+        };
         let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
         let ue = std::rc::Rc::new(std::cell::Cell::new(0u64));
         // F0 is a victim: its packets carry UE through the paused chain.
@@ -195,16 +244,34 @@ fn ue_notifications_require_opt_in() {
             f2.r0,
             4_000_000,
             SimTime::ZERO,
-            Box::new(UeSpy { rate: Rate::ZERO, ue_seen: ue.clone() }),
+            Box::new(UeSpy {
+                rate: Rate::ZERO,
+                ue_seen: ue.clone(),
+            }),
         );
         for &a in &f2.bursters {
-            sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+            sim.add_flow(
+                a,
+                f2.r1,
+                1_000_000,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            );
         }
-        sim.add_flow(f2.s1, f2.r1, 10_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            f2.s1,
+            f2.r1,
+            10_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
         sim.run();
         ue.get()
     };
-    assert!(run_once(true) > 0, "opted-in sender must receive UE feedback");
+    assert!(
+        run_once(true) > 0,
+        "opted-in sender must receive UE feedback"
+    );
     assert_eq!(run_once(false), 0, "legacy sender must never see UE");
 }
 
@@ -219,9 +286,23 @@ fn multi_priority_pfc_isolation() {
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
     // Priority-1 incast onto R1 (the congested class).
     for &a in &f2.bursters {
-        sim.add_flow_prio(a, f2.r1, 1_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
+        sim.add_flow_prio(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            1,
+            Box::new(FixedRate::line_rate()),
+        );
     }
-    sim.add_flow_prio(f2.s1, f2.r1, 5_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
+    sim.add_flow_prio(
+        f2.s1,
+        f2.r1,
+        5_000_000,
+        SimTime::ZERO,
+        1,
+        Box::new(FixedRate::line_rate()),
+    );
     // Priority-2 flow across the same chain to the uncongested R0.
     let p2_flow = sim.add_flow_prio(
         f2.s0,
@@ -243,7 +324,10 @@ fn multi_priority_pfc_isolation() {
         fct.as_ps() < ideal.as_ps() * 14 / 10,
         "priority-2 flow was head-of-line blocked: {fct} vs ideal {ideal}"
     );
-    assert!(sim.trace.pause_frames > 0, "priority 1 must have been paused");
+    assert!(
+        sim.trace.pause_frames > 0,
+        "priority 1 must have been paused"
+    );
 }
 
 #[test]
@@ -285,10 +369,19 @@ fn timely_acks_echo_code_points() {
         f2.r1,
         20_000_000,
         SimTime::ZERO,
-        Box::new(EchoSpy { rate: Rate::ZERO, marked: marked.clone() }),
+        Box::new(EchoSpy {
+            rate: Rate::ZERO,
+            marked: marked.clone(),
+        }),
     );
     for &a in f2.bursters.iter().take(8) {
-        sim.add_flow(a, f2.r1, 1_500_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            1_500_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     assert!(marked.get() > 0, "congested flow's ACKs must echo CE marks");

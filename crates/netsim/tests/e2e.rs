@@ -20,7 +20,13 @@ fn single_flow_completes_with_expected_fct() {
     let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
     let mut sim = Simulator::new(db.topo.clone(), cee(10), RouteSelect::Ecmp);
     let size = 100_000u64; // 100 packets of 1000 B
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
 
     let rec = &sim.trace.flows[f.0 as usize];
@@ -64,8 +70,20 @@ fn two_flows_share_bottleneck_without_loss() {
     let f2 = figure2(Figure2Options::default());
     let mut sim = Simulator::new(f2.topo.clone(), cee(20), RouteSelect::Ecmp);
     let size = 2_000_000u64;
-    let a = sim.add_flow(f2.bursters[0], f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
-    let b = sim.add_flow(f2.bursters[1], f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let a = sim.add_flow(
+        f2.bursters[0],
+        f2.r1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
+    let b = sim.add_flow(
+        f2.bursters[1],
+        f2.r1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     for f in [a, b] {
         let rec = &sim.trace.flows[f.0 as usize];
@@ -89,7 +107,15 @@ fn incast_is_lossless_and_fair_ish() {
     let ids: Vec<_> = f2
         .bursters
         .iter()
-        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .map(|&a| {
+            sim.add_flow(
+                a,
+                f2.r1,
+                size,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            )
+        })
         .collect();
     sim.run();
     for f in &ids {
@@ -106,7 +132,10 @@ fn incast_is_lossless_and_fair_ish() {
         .collect();
     let mean = ends.iter().sum::<f64>() / ends.len() as f64;
     for e in &ends {
-        assert!((e - mean).abs() / mean < 0.3, "unfair completion: {e} vs mean {mean}");
+        assert!(
+            (e - mean).abs() / mean < 0.3,
+            "unfair completion: {e} vs mean {mean}"
+        );
     }
 }
 
@@ -115,7 +144,13 @@ fn ib_single_flow_completes() {
     let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
     let mut sim = Simulator::new(db.topo.clone(), ib(10), RouteSelect::DModK);
     let size = 200_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let rec = &sim.trace.flows[f.0 as usize];
     assert_eq!(rec.delivered.bytes, size);
@@ -131,12 +166,23 @@ fn ib_incast_is_lossless() {
         .bursters
         .iter()
         .take(8)
-        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .map(|&a| {
+            sim.add_flow(
+                a,
+                f2.r1,
+                size,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            )
+        })
         .collect();
     sim.run();
     for f in &ids {
         let rec = &sim.trace.flows[f.0 as usize];
-        assert_eq!(rec.delivered.bytes, size, "flow {f:?} lost bytes under CBFC");
+        assert_eq!(
+            rec.delivered.bytes, size,
+            "flow {f:?} lost bytes under CBFC"
+        );
         assert!(rec.end.is_some());
     }
 }
@@ -147,7 +193,13 @@ fn cross_traffic_does_not_starve() {
     // complete; F0 is unaffected by R1's congestion only via pauses.
     let f2 = figure2(Figure2Options::default());
     let mut sim = Simulator::new(f2.topo.clone(), cee(50), RouteSelect::Ecmp);
-    let f1 = sim.add_flow(f2.s1, f2.r1, 5_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f1 = sim.add_flow(
+        f2.s1,
+        f2.r1,
+        5_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     let f0 = sim.add_flow(
         f2.s0,
         f2.r0,
@@ -168,16 +220,41 @@ fn runs_are_deterministic() {
         cfg.detector = DetectorKind::EcnRed(tcd_core::baseline::RedConfig::dcqcn_40g());
         let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
         for &a in f2.bursters.iter().take(6) {
-            sim.add_flow(a, f2.r1, 400_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+            sim.add_flow(
+                a,
+                f2.r1,
+                400_000,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            );
         }
-        sim.add_flow(f2.s1, f2.r1, 800_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            f2.s1,
+            f2.r1,
+            800_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
         sim.run();
-        let ends: Vec<_> = sim.trace.flows.iter().map(|r| r.end.map(|t| t.as_ps())).collect();
-        let marks: Vec<_> =
-            sim.trace.flows.iter().map(|r| (r.delivered.ce, r.delivered.ue)).collect();
+        let ends: Vec<_> = sim
+            .trace
+            .flows
+            .iter()
+            .map(|r| r.end.map(|t| t.as_ps()))
+            .collect();
+        let marks: Vec<_> = sim
+            .trace
+            .flows
+            .iter()
+            .map(|r| (r.delivered.ce, r.delivered.ue))
+            .collect();
         (ends, marks, sim.trace.pause_frames)
     };
-    assert_eq!(run(), run(), "identical configs must produce identical runs");
+    assert_eq!(
+        run(),
+        run(),
+        "identical configs must produce identical runs"
+    );
 }
 
 #[test]
@@ -187,9 +264,21 @@ fn pfc_keeps_switch_buffers_bounded() {
     let f2 = figure2(Figure2Options::default());
     let mut sim = Simulator::new(f2.topo.clone(), cee(30), RouteSelect::Ecmp);
     for &a in &f2.bursters {
-        sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
-    sim.add_flow(f2.s1, f2.r1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    sim.add_flow(
+        f2.s1,
+        f2.r1,
+        2_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     // The in-flight-during-pause headroom at 40G over 4 µs links is
     // ~2 * (BDP + MTU) ≈ 42 KB; allow a safe 64 KB per ingress.

@@ -33,7 +33,13 @@ fn star(rate: Rate) -> Star {
     for h in [s1, s2, hot, cold] {
         b.link(h, sw, rate, SimDuration::from_us(2));
     }
-    Star { topo: b.build(), s1, s2, hot, cold }
+    Star {
+        topo: b.build(),
+        s1,
+        s2,
+        hot,
+        cold,
+    }
 }
 
 #[test]
@@ -44,19 +50,50 @@ fn voq_keeps_a_cold_output_usable_beside_a_hot_one() {
     // the cold flow must complete within a small factor of its NIC-share
     // ideal instead of waiting behind the entire hot backlog.
     let st = star(Rate::from_gbps(40));
-    let mut sim = Simulator::new(st.topo.clone(), ib_cfg(SimTime::from_ms(20)), RouteSelect::DModK);
-    let hot1 = sim.add_flow(st.s1, st.hot, 8_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
-    let hot2 = sim.add_flow(st.s2, st.hot, 8_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
-    let cold = sim.add_flow(st.s2, st.cold, 2_000_000, SimTime::ZERO, Box::new(FixedRate::new(Rate::from_gbps(20))));
+    let mut sim = Simulator::new(
+        st.topo.clone(),
+        ib_cfg(SimTime::from_ms(20)),
+        RouteSelect::DModK,
+    );
+    let hot1 = sim.add_flow(
+        st.s1,
+        st.hot,
+        8_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
+    let hot2 = sim.add_flow(
+        st.s2,
+        st.hot,
+        8_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
+    let cold = sim.add_flow(
+        st.s2,
+        st.cold,
+        2_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::new(Rate::from_gbps(20))),
+    );
     sim.run();
-    let t_cold = sim.trace.flows[cold.0 as usize].fct().expect("cold flow completes");
-    let t_hot1 = sim.trace.flows[hot1.0 as usize].fct().expect("hot1 completes");
-    let t_hot2 = sim.trace.flows[hot2.0 as usize].fct().expect("hot2 completes");
+    let t_cold = sim.trace.flows[cold.0 as usize]
+        .fct()
+        .expect("cold flow completes");
+    let t_hot1 = sim.trace.flows[hot1.0 as usize]
+        .fct()
+        .expect("hot1 completes");
+    let t_hot2 = sim.trace.flows[hot2.0 as usize]
+        .fct()
+        .expect("hot2 completes");
     // Hot flows: 8 MB through a ~20G fair share is >= 3.2 ms.
     // Cold flow: 2 MB at its ~20G NIC share is ~0.8 ms; head-of-line
     // blocking behind the hot backlog would push it toward the hot
     // completion times.
-    assert!(t_cold < t_hot1 / 2 && t_cold < t_hot2 / 2, "cold flow was head-of-line blocked");
+    assert!(
+        t_cold < t_hot1 / 2 && t_cold < t_hot2 / 2,
+        "cold flow was head-of-line blocked"
+    );
     let ideal_cold = Rate::from_gbps(20).serialize_time(2_000_000);
     assert!(
         t_cold.as_ps() < ideal_cold.as_ps() * 2,
@@ -78,9 +115,17 @@ fn undersized_credit_period_starves_line_rate() {
     ));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::DModK);
     let size = 10_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
-    let fct = sim.trace.flows[f.0 as usize].fct().expect("still completes (lossless)");
+    let fct = sim.trace.flows[f.0 as usize]
+        .fct()
+        .expect("still completes (lossless)");
     let ideal = Rate::from_gbps(40).serialize_time(size);
     assert!(
         fct.as_ps() > ideal.as_ps() * 110 / 100,
@@ -101,16 +146,18 @@ fn undersized_credit_period_pins_ports_undetermined() {
     let bad_cbfc = CbfcConfig::from_bytes(280 * 1024, SimDuration::from_ns(65_536));
     let mut cfg = ib_cfg(SimTime::from_ms(5));
     cfg.flow_control = FlowControlMode::Cbfc(bad_cbfc);
-    cfg.detector = DetectorKind::Tcd(TcdConfig::new(
-        bad_cbfc.update_period,
-        50 * 1024,
-        5 * 1024,
-    ));
+    cfg.detector = DetectorKind::Tcd(TcdConfig::new(bad_cbfc.update_period, 50 * 1024, 5 * 1024));
     cfg.trace_interval = Some(SimDuration::from_us(20));
     cfg.sample_ports = vec![(f2.p3.0, f2.p3.1, cfg.data_prio)];
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::DModK);
     for &a in f2.bursters.iter().take(8) {
-        sim.add_flow(a, f2.r1, 2_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            f2.r1,
+            2_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run();
     // P3 is the congestion root but the detector can never see it as
@@ -135,9 +182,25 @@ fn fccl_updates_bound_idle_credit_lag() {
     // periodic FCCL keeps the loop fresh): a flow starting late performs
     // identically to one starting at t = 0.
     let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
-    let mut sim = Simulator::new(db.topo.clone(), ib_cfg(SimTime::from_ms(20)), RouteSelect::DModK);
-    let early = sim.add_flow(db.h0, db.h1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
-    let late = sim.add_flow(db.h1, db.h0, 1_000_000, SimTime::from_ms(10), Box::new(FixedRate::line_rate()));
+    let mut sim = Simulator::new(
+        db.topo.clone(),
+        ib_cfg(SimTime::from_ms(20)),
+        RouteSelect::DModK,
+    );
+    let early = sim.add_flow(
+        db.h0,
+        db.h1,
+        1_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
+    let late = sim.add_flow(
+        db.h1,
+        db.h0,
+        1_000_000,
+        SimTime::from_ms(10),
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let t_early = sim.trace.flows[early.0 as usize].fct().unwrap();
     let t_late = sim.trace.flows[late.0 as usize].fct().unwrap();
@@ -156,10 +219,20 @@ fn ib_feedback_vl_is_not_blocked_by_data_vl_congestion() {
     // (VL 0) would be required under a CC run — here we simply assert the
     // run stays live and lossless under full data-VL pressure.
     let f2 = figure2(Figure2Options::default());
-    let mut sim = Simulator::new(f2.topo.clone(), ib_cfg(SimTime::from_ms(30)), RouteSelect::DModK);
+    let mut sim = Simulator::new(
+        f2.topo.clone(),
+        ib_cfg(SimTime::from_ms(30)),
+        RouteSelect::DModK,
+    );
     let mut flows = Vec::new();
     for &a in &f2.bursters {
-        flows.push(sim.add_flow(a, f2.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate())));
+        flows.push(sim.add_flow(
+            a,
+            f2.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        ));
     }
     sim.run();
     for f in flows {

@@ -16,7 +16,13 @@ fn uncontended_lossy_flow_behaves_like_lossless() {
     let cfg = SimConfig::lossy_baseline(SimTime::from_ms(10), 200 * 1024);
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::Ecmp);
     let size = 2_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     assert_eq!(sim.trace.drops, 0);
     let rec = &sim.trace.flows[f.0 as usize];
@@ -38,7 +44,15 @@ fn overload_drops_but_reliability_recovers_everything() {
         .bursters
         .iter()
         .take(4)
-        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .map(|&a| {
+            sim.add_flow(
+                a,
+                f2.r1,
+                size,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            )
+        })
         .collect();
     sim.run();
     assert!(sim.trace.drops > 0, "a 4:1 incast into 100KB must drop");
@@ -69,12 +83,25 @@ fn lossless_beats_lossy_tail_under_incast() {
             .bursters
             .iter()
             .take(8)
-            .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+            .map(|&a| {
+                sim.add_flow(
+                    a,
+                    f2.r1,
+                    size,
+                    SimTime::ZERO,
+                    Box::new(FixedRate::line_rate()),
+                )
+            })
             .collect();
         sim.run();
         flows
             .iter()
-            .map(|f| sim.trace.flows[f.0 as usize].fct().expect("completes").as_secs_f64())
+            .map(|f| {
+                sim.trace.flows[f.0 as usize]
+                    .fct()
+                    .expect("completes")
+                    .as_secs_f64()
+            })
             .fold(0.0, f64::max)
     };
     let lossless_tail = run(true);
@@ -97,7 +124,15 @@ fn duplicate_deliveries_are_never_counted() {
         .bursters
         .iter()
         .take(6)
-        .map(|&a| sim.add_flow(a, f2.r1, size, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+        .map(|&a| {
+            sim.add_flow(
+                a,
+                f2.r1,
+                size,
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            )
+        })
         .collect();
     sim.run();
     assert!(sim.trace.drops > 0);

@@ -30,7 +30,12 @@ fn fanin(rate: Rate) -> Fanin {
     for h in [s1, s2, sink] {
         b.link(h, sw, rate, SimDuration::from_us(4));
     }
-    Fanin { topo: b.build(), s1, s2, sink }
+    Fanin {
+        topo: b.build(),
+        s1,
+        s2,
+        sink,
+    }
 }
 
 fn three_vl_cfg(end: SimTime, weights: Vec<u32>) -> SimConfig {
@@ -47,9 +52,27 @@ fn wrr_splits_a_saturated_link_by_weight() {
     // roughly 2:1.
     let fi = fanin(Rate::from_gbps(40));
     let end = SimTime::from_ms(10);
-    let mut sim = Simulator::new(fi.topo.clone(), three_vl_cfg(end, vec![0, 2, 1]), RouteSelect::DModK);
-    let f1 = sim.add_flow_prio(fi.s1, fi.sink, 1_000_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
-    let f2 = sim.add_flow_prio(fi.s2, fi.sink, 1_000_000_000, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+    let mut sim = Simulator::new(
+        fi.topo.clone(),
+        three_vl_cfg(end, vec![0, 2, 1]),
+        RouteSelect::DModK,
+    );
+    let f1 = sim.add_flow_prio(
+        fi.s1,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        1,
+        Box::new(FixedRate::line_rate()),
+    );
+    let f2 = sim.add_flow_prio(
+        fi.s2,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        2,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let d1 = sim.trace.flows[f1.0 as usize].delivered.bytes as f64;
     let d2 = sim.trace.flows[f2.0 as usize].delivered.bytes as f64;
@@ -67,14 +90,35 @@ fn wrr_splits_a_saturated_link_by_weight() {
 fn equal_weights_split_evenly() {
     let fi = fanin(Rate::from_gbps(40));
     let end = SimTime::from_ms(10);
-    let mut sim = Simulator::new(fi.topo.clone(), three_vl_cfg(end, vec![0, 1, 1]), RouteSelect::DModK);
-    let f1 = sim.add_flow_prio(fi.s1, fi.sink, 1_000_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
-    let f2 = sim.add_flow_prio(fi.s2, fi.sink, 1_000_000_000, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+    let mut sim = Simulator::new(
+        fi.topo.clone(),
+        three_vl_cfg(end, vec![0, 1, 1]),
+        RouteSelect::DModK,
+    );
+    let f1 = sim.add_flow_prio(
+        fi.s1,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        1,
+        Box::new(FixedRate::line_rate()),
+    );
+    let f2 = sim.add_flow_prio(
+        fi.s2,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        2,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let d1 = sim.trace.flows[f1.0 as usize].delivered.bytes as f64;
     let d2 = sim.trace.flows[f2.0 as usize].delivered.bytes as f64;
     let ratio = d1 / d2;
-    assert!((0.85..=1.18).contains(&ratio), "expected ~1:1, got {ratio:.2}");
+    assert!(
+        (0.85..=1.18).contains(&ratio),
+        "expected ~1:1, got {ratio:.2}"
+    );
 }
 
 #[test]
@@ -88,7 +132,14 @@ fn an_idle_vl_does_not_strand_bandwidth() {
         RouteSelect::DModK,
     );
     let size = 10_000_000u64;
-    let f = sim.add_flow_prio(db.h0, db.h1, size, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow_prio(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        2,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let fct = sim.trace.flows[f.0 as usize].fct().expect("completes");
     let ideal = Rate::from_gbps(40).serialize_time(size);
@@ -116,14 +167,32 @@ fn per_vl_tcd_uses_share_scaled_max_ton() {
     ];
     // The override plumbing is what's under test: the run must be
     // well-formed and lossless with distinct detectors per VL.
-    assert!(matches!(cfg.detector_for(1), DetectorKind::Tcd(c) if c.max_ton == ib_max_ton(tc, 2.0/3.0)));
-    assert!(matches!(cfg.detector_for(2), DetectorKind::Tcd(c) if c.max_ton == ib_max_ton(tc, 1.0/3.0)));
+    assert!(
+        matches!(cfg.detector_for(1), DetectorKind::Tcd(c) if c.max_ton == ib_max_ton(tc, 2.0/3.0))
+    );
+    assert!(
+        matches!(cfg.detector_for(2), DetectorKind::Tcd(c) if c.max_ton == ib_max_ton(tc, 1.0/3.0))
+    );
     assert!(matches!(cfg.detector_for(0), DetectorKind::IbFecn { .. }));
 
     let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::DModK);
-    let a = sim.add_flow_prio(db.h0, db.h1, 3_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
-    let b = sim.add_flow_prio(db.h0, db.h1, 3_000_000, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+    let a = sim.add_flow_prio(
+        db.h0,
+        db.h1,
+        3_000_000,
+        SimTime::ZERO,
+        1,
+        Box::new(FixedRate::line_rate()),
+    );
+    let b = sim.add_flow_prio(
+        db.h0,
+        db.h1,
+        3_000_000,
+        SimTime::ZERO,
+        2,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     for f in [a, b] {
         assert_eq!(sim.trace.flows[f.0 as usize].delivered.bytes, 3_000_000);
@@ -138,8 +207,22 @@ fn strict_priority_remains_the_default() {
     let mut cfg = SimConfig::ib_baseline(end);
     cfg.num_prios = 3;
     let mut sim = Simulator::new(fi.topo.clone(), cfg, RouteSelect::DModK);
-    let hi = sim.add_flow_prio(fi.s1, fi.sink, 1_000_000_000, SimTime::ZERO, 1, Box::new(FixedRate::line_rate()));
-    let lo = sim.add_flow_prio(fi.s2, fi.sink, 1_000_000_000, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+    let hi = sim.add_flow_prio(
+        fi.s1,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        1,
+        Box::new(FixedRate::line_rate()),
+    );
+    let lo = sim.add_flow_prio(
+        fi.s2,
+        fi.sink,
+        1_000_000_000,
+        SimTime::ZERO,
+        2,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let d_hi = sim.trace.flows[hi.0 as usize].delivered.bytes as f64;
     let d_lo = sim.trace.flows[lo.0 as usize].delivered.bytes as f64;
@@ -181,7 +264,14 @@ fn cee_priority_preemption_does_not_break_tcd() {
     );
     // Low-priority incast congesting R1 (pauses spread on priority 2).
     for &a in fig.bursters.iter().take(10) {
-        sim.add_flow_prio(a, fig.r1, 1_000_000, SimTime::ZERO, 2, Box::new(FixedRate::line_rate()));
+        sim.add_flow_prio(
+            a,
+            fig.r1,
+            1_000_000,
+            SimTime::ZERO,
+            2,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     // High-priority traffic sharing the chain links: preempts priority 2
     // whenever it resumes.
@@ -196,6 +286,9 @@ fn cee_priority_preemption_does_not_break_tcd() {
     sim.run();
     let d = sim.trace.flows[victim.0 as usize].delivered;
     assert!(d.pkts > 0, "victim must make progress");
-    assert_eq!(d.ce, 0, "preemption-stretched RESUME periods must not cause false CE");
+    assert_eq!(
+        d.ce, 0,
+        "preemption-stretched RESUME periods must not cause false CE"
+    );
     assert!(sim.trace.pause_frames > 0, "priority-2 pauses expected");
 }

@@ -7,10 +7,10 @@
 
 use lossless_flowctl::{Rate, SimDuration, SimTime};
 use lossless_netsim::cchooks::FixedRate;
+use lossless_netsim::config::DetectorKind;
 use lossless_netsim::config::SimConfig;
 use lossless_netsim::routing::RouteSelect;
 use lossless_netsim::topology::{dumbbell, figure2, Figure2Options};
-use lossless_netsim::config::DetectorKind;
 use lossless_netsim::Simulator;
 use tcd_core::baseline::RedConfig;
 use tcd_core::model::cee_max_ton;
@@ -25,16 +25,27 @@ fn cee_slow_receiver_paces_the_sender_without_loss() {
     cfg.host_rx_rate = Some(Rate::from_gbps(10));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::Ecmp);
     let size = 5_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let rec = &sim.trace.flows[f.0 as usize];
     assert_eq!(rec.delivered.bytes, size, "lossless under edge pauses");
     let fct = rec.fct().expect("completes");
     let at_rx_rate = Rate::from_gbps(10).serialize_time(size);
     let at_wire_rate = Rate::from_gbps(40).serialize_time(size);
-    assert!(fct >= at_rx_rate.saturating_sub(SimDuration::from_us(300)),
-        "cannot beat the receiver's processing rate: {fct}");
-    assert!(fct.as_ps() < at_rx_rate.as_ps() * 12 / 10, "too slow: {fct}");
+    assert!(
+        fct >= at_rx_rate.saturating_sub(SimDuration::from_us(300)),
+        "cannot beat the receiver's processing rate: {fct}"
+    );
+    assert!(
+        fct.as_ps() < at_rx_rate.as_ps() * 12 / 10,
+        "too slow: {fct}"
+    );
     assert!(fct > at_wire_rate * 3, "receiver limit must dominate");
     assert!(sim.trace.pause_frames > 0, "the edge must have paused");
 }
@@ -46,14 +57,23 @@ fn ib_slow_receiver_throttles_via_credits() {
     cfg.host_rx_rate = Some(Rate::from_gbps(10));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::DModK);
     let size = 5_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let rec = &sim.trace.flows[f.0 as usize];
     assert_eq!(rec.delivered.bytes, size);
     let fct = rec.fct().expect("completes");
     let at_rx_rate = Rate::from_gbps(10).serialize_time(size);
     assert!(fct >= at_rx_rate.saturating_sub(SimDuration::from_us(300)));
-    assert!(fct.as_ps() < at_rx_rate.as_ps() * 13 / 10, "credit loop too lossy: {fct}");
+    assert!(
+        fct.as_ps() < at_rx_rate.as_ps() * 13 / 10,
+        "credit loop too lossy: {fct}"
+    );
 }
 
 #[test]
@@ -63,7 +83,13 @@ fn fast_receiver_default_is_unchanged() {
     let cfg = SimConfig::cee_baseline(SimTime::from_ms(10));
     let mut sim = Simulator::new(db.topo.clone(), cfg, RouteSelect::Ecmp);
     let size = 5_000_000u64;
-    let f = sim.add_flow(db.h0, db.h1, size, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f = sim.add_flow(
+        db.h0,
+        db.h1,
+        size,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     sim.run();
     let fct = sim.trace.flows[f.0 as usize].fct().unwrap();
     let ideal = Rate::from_gbps(40).serialize_time(size);
@@ -88,7 +114,13 @@ fn slow_receiver_spreading_keeps_victims_clean_under_tcd() {
     );
     cfg.host_rx_rate = Some(Rate::from_gbps(5));
     let mut sim = Simulator::new(fig.topo.clone(), cfg, RouteSelect::Ecmp);
-    let f1 = sim.add_flow(fig.s1, fig.r1, 10_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+    let f1 = sim.add_flow(
+        fig.s1,
+        fig.r1,
+        10_000_000,
+        SimTime::ZERO,
+        Box::new(FixedRate::line_rate()),
+    );
     let f0 = sim.add_flow(
         fig.s0,
         fig.r0,
@@ -99,7 +131,10 @@ fn slow_receiver_spreading_keeps_victims_clean_under_tcd() {
     sim.run();
     let d0 = sim.trace.flows[f0.0 as usize].delivered;
     let d1 = sim.trace.flows[f1.0 as usize].delivered;
-    assert!(sim.trace.pause_frames > 0, "edge-originated pauses expected");
+    assert!(
+        sim.trace.pause_frames > 0,
+        "edge-originated pauses expected"
+    );
     assert!(d1.pkts > 0 && d0.pkts > 0);
     assert_eq!(d0.ce, 0, "victim must not be blamed for a slow receiver");
     assert!(

@@ -1,0 +1,56 @@
+//! Named generators. `StdRng` here is xoshiro256** — a different (and
+//! faster) algorithm than upstream `rand`'s ChaCha12, but it honors the
+//! same contract the simulator relies on: identical seed, identical
+//! stream, on every platform.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Deterministic workhorse generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // An all-zero state would be a fixed point; nudge it.
+        if s == [0; 4] {
+            s = [0xDEAD_BEEF, 0xCAFE_F00D, 0x0123_4567, 0x89AB_CDEF];
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}

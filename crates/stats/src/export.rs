@@ -33,7 +33,15 @@ where
     F: IntoIterator<Item = String>,
 {
     let mut out = String::new();
-    let _ = writeln!(out, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    let _ = writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for row in rows {
         let cells: Vec<String> = row.into_iter().map(|c| quote(&c)).collect();
         let _ = writeln!(out, "{}", cells.join(","));

@@ -62,10 +62,16 @@ impl SizeBuckets {
     /// generated as `<X`, plus a final `>=last`.
     pub fn new(bounds: &[u64]) -> SizeBuckets {
         assert!(!bounds.is_empty());
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
         let mut labels: Vec<String> = bounds.iter().map(|b| format!("<{}", human(*b))).collect();
         labels.push(format!(">={}", human(*bounds.last().unwrap())));
-        SizeBuckets { bounds: bounds.to_vec(), labels }
+        SizeBuckets {
+            bounds: bounds.to_vec(),
+            labels,
+        }
     }
 
     /// The paper's small/medium/large split for Hadoop-like workloads.
@@ -80,7 +86,10 @@ impl SizeBuckets {
 
     /// Bucket index of a flow size.
     pub fn index(&self, size: u64) -> usize {
-        self.bounds.iter().position(|&b| size < b).unwrap_or(self.bounds.len())
+        self.bounds
+            .iter()
+            .position(|&b| size < b)
+            .unwrap_or(self.bounds.len())
     }
 
     /// Number of buckets (bounds + the overflow bucket).
@@ -161,8 +170,9 @@ mod tests {
     #[test]
     fn grouping_partitions_all_flows() {
         let b = SizeBuckets::hadoop_buckets();
-        let flows: Vec<(u64, f64)> =
-            (0..1000).map(|i| (i * 1500, 1.0 + i as f64 / 100.0)).collect();
+        let flows: Vec<(u64, f64)> = (0..1000)
+            .map(|i| (i * 1500, 1.0 + i as f64 / 100.0))
+            .collect();
         let groups = b.group(&flows);
         assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), flows.len());
     }

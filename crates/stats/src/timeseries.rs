@@ -24,7 +24,10 @@ pub fn rate_series(samples: &[(SimTime, u64)]) -> Vec<RatePoint> {
         }
         let dt = t1.saturating_since(t0).as_secs_f64();
         let db = b1.saturating_sub(b0) as f64;
-        out.push(RatePoint { t: t1, gbps: db * 8.0 / dt / 1e9 });
+        out.push(RatePoint {
+            t: t1,
+            gbps: db * 8.0 / dt / 1e9,
+        });
     }
     out
 }
@@ -98,10 +101,22 @@ mod tests {
     #[test]
     fn on_fraction_counts_active_intervals() {
         let r = vec![
-            RatePoint { t: SimTime::from_us(1), gbps: 40.0 },
-            RatePoint { t: SimTime::from_us(2), gbps: 0.0 },
-            RatePoint { t: SimTime::from_us(3), gbps: 40.0 },
-            RatePoint { t: SimTime::from_us(4), gbps: 0.0 },
+            RatePoint {
+                t: SimTime::from_us(1),
+                gbps: 40.0,
+            },
+            RatePoint {
+                t: SimTime::from_us(2),
+                gbps: 0.0,
+            },
+            RatePoint {
+                t: SimTime::from_us(3),
+                gbps: 40.0,
+            },
+            RatePoint {
+                t: SimTime::from_us(4),
+                gbps: 0.0,
+            },
         ];
         assert!((on_fraction(&r, 1.0) - 0.5).abs() < 1e-12);
         assert_eq!(on_fraction(&[], 1.0), 0.0);

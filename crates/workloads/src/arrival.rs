@@ -21,7 +21,10 @@ impl PoissonArrivals {
     /// Arrivals at `lambda` flows per second, starting from `start`.
     pub fn with_rate(lambda: f64, start: SimTime) -> Self {
         assert!(lambda > 0.0 && lambda.is_finite());
-        PoissonArrivals { mean_gap_secs: 1.0 / lambda, next: start }
+        PoissonArrivals {
+            mean_gap_secs: 1.0 / lambda,
+            next: start,
+        }
     }
 
     /// Arrivals sized to keep one sender's link at `load` (0, 1] given its

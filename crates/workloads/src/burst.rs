@@ -42,7 +42,11 @@ impl BurstPlan {
         let mut bursts = Vec::with_capacity(senders * rounds);
         for s in 0..senders {
             for _ in 0..rounds {
-                bursts.push(Burst { sender: s, at: start, bytes });
+                bursts.push(Burst {
+                    sender: s,
+                    at: start,
+                    bytes,
+                });
             }
         }
         BurstPlan { bursts }
@@ -64,7 +68,11 @@ impl BurstPlan {
         let mut t = start;
         while t < end {
             for s in 0..senders {
-                bursts.push(Burst { sender: s, at: t, bytes });
+                bursts.push(Burst {
+                    sender: s,
+                    at: t,
+                    bytes,
+                });
             }
             let u: f64 = rng.gen();
             let gap_secs = -mean_gap.as_secs_f64() * (1.0 - u).ln();

@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_inputs() {
-        assert_eq!(EmpiricalCdf::new(vec![(1, 1.0)]).unwrap_err(), CdfError::TooFewPoints);
+        assert_eq!(
+            EmpiricalCdf::new(vec![(1, 1.0)]).unwrap_err(),
+            CdfError::TooFewPoints
+        );
         assert_eq!(
             EmpiricalCdf::new(vec![(5, 0.0), (5, 1.0)]).unwrap_err(),
             CdfError::NonIncreasingValues

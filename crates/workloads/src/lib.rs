@@ -86,7 +86,10 @@ mod tests {
         let n = 50_000;
         let small = (0..n).filter(|_| cdf.sample(&mut rng) <= 5_000_000).count();
         let frac = small as f64 / n as f64;
-        assert!(frac > 0.90 && frac < 0.97, "WebSearch small fraction {frac}");
+        assert!(
+            frac > 0.90 && frac < 0.97,
+            "WebSearch small fraction {frac}"
+        );
     }
 
     #[test]
@@ -98,6 +101,9 @@ mod tests {
         };
         let h = mean(&hadoop(), &mut rng);
         let w = mean(&websearch(), &mut rng);
-        assert!(w > 3.0 * h, "WebSearch mean {w} should dwarf Hadoop mean {h}");
+        assert!(
+            w > 3.0 * h,
+            "WebSearch mean {w} should dwarf Hadoop mean {h}"
+        );
     }
 }

@@ -143,7 +143,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let roles = assign_roles(10, 8, 4, 0.0, &mut rng);
         // Second rack has 2 hosts; both can be servers at most.
-        let servers_last = roles[8..].iter().filter(|r| **r == HpcRole::IoServer).count();
+        let servers_last = roles[8..]
+            .iter()
+            .filter(|r| **r == HpcRole::IoServer)
+            .count();
         assert!(servers_last <= 2);
     }
 }

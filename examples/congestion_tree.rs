@@ -71,9 +71,15 @@ fn main() {
         .collect();
     let first_undet = states.iter().position(|s| s.is_undetermined());
     let first_cong_after = first_undet.and_then(|i| {
-        states[i..].iter().position(|s| *s == TernaryState::Congestion).map(|j| i + j)
+        states[i..]
+            .iter()
+            .position(|s| *s == TernaryState::Congestion)
+            .map(|j| i + j)
     });
-    assert!(first_undet.is_some(), "P2 must pass through the undetermined state");
+    assert!(
+        first_undet.is_some(),
+        "P2 must pass through the undetermined state"
+    );
     assert!(
         first_cong_after.is_some(),
         "the covered root must emerge as a congestion port (transition 5)"

@@ -20,7 +20,10 @@ fn main() {
     //    max(T_on) from the ON-OFF model, K_max = 200 KB, RED marking in
     //    determined states.
     let mut cfg = default_config(Network::Cee, true, SimTime::from_ms(6));
-    let cc = Cc { algo: CcAlgo::Dcqcn, tcd: true };
+    let cc = Cc {
+        algo: CcAlgo::Dcqcn,
+        tcd: true,
+    };
     cfg.feedback = cc.feedback();
     cfg.trace_interval = Some(SimDuration::from_us(10));
     cfg.sample_ports = vec![(fig.p2.0, fig.p2.1, cfg.data_prio)];
@@ -32,7 +35,13 @@ fn main() {
     //    pattern. F0 crosses the same chain but exits to R0: a victim.
     let f1 = sim.add_flow(fig.s1, fig.r1, 20_000_000, SimTime::ZERO, cc.controller());
     for &a in &fig.bursters {
-        sim.add_flow(a, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            fig.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     let f0 = sim.add_flow(
         fig.s0,
@@ -47,10 +56,19 @@ fn main() {
 
     let d0 = sim.trace.flows[f0.0 as usize].delivered;
     let d1 = sim.trace.flows[f1.0 as usize].delivered;
-    println!("F0 (victim):    {} pkts, {} CE, {} UE", d0.pkts, d0.ce, d0.ue);
-    println!("F1 (congested): {} pkts, {} CE, {} UE", d1.pkts, d1.ce, d1.ue);
+    println!(
+        "F0 (victim):    {} pkts, {} CE, {} UE",
+        d0.pkts, d0.ce, d0.ue
+    );
+    println!(
+        "F1 (congested): {} pkts, {} CE, {} UE",
+        d1.pkts, d1.ce, d1.ue
+    );
     assert_eq!(d0.ce, 0, "TCD never blames the victim");
-    assert!(d0.ue > 0, "the victim is told it crossed undetermined ports");
+    assert!(
+        d0.ue > 0,
+        "the victim is told it crossed undetermined ports"
+    );
     assert!(d1.ce > 0, "the congested flow is marked CE");
 
     // The sampled port P2 went through the undetermined state while
@@ -61,7 +79,10 @@ fn main() {
         .iter()
         .filter(|s| s.state.is_undetermined())
         .count();
-    println!("P2 sampled undetermined in {undet} of {} samples", sim.trace.port_samples.len());
+    println!(
+        "P2 sampled undetermined in {undet} of {} samples",
+        sim.trace.port_samples.len()
+    );
     println!("PAUSE frames exchanged: {}", sim.trace.pause_frames);
     println!("ok: ternary congestion detection separates culprits from victims");
 }

@@ -12,14 +12,21 @@ use tcd_repro::scenarios::victim::{run, Options};
 use tcd_repro::scenarios::Network;
 
 fn main() {
-    println!("{:<12} {:>8} {:>10} {:>10} {:>10}", "scheme", "victims", "CE-flagged", "UE-flagged", "mean FCT");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "scheme", "victims", "CE-flagged", "UE-flagged", "mean FCT"
+    );
     for (network, use_tcd, label) in [
         (Network::Cee, false, "ECN (CEE)"),
         (Network::Cee, true, "TCD (CEE)"),
         (Network::Ib, false, "FECN (IB)"),
         (Network::Ib, true, "TCD (IB)"),
     ] {
-        let mut opt = Options { network, use_tcd, ..Default::default() };
+        let mut opt = Options {
+            network,
+            use_tcd,
+            ..Default::default()
+        };
         if network == Network::Ib {
             opt.load = 0.3;
             opt.burst_gap = tcd_repro::flowctl::SimDuration::from_us(700);

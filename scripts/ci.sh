@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, test suite, clippy (warnings are
+# errors), and formatting. Run before every push; everything must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test --workspace -q ==="
+cargo test --workspace -q
+
+echo "=== cargo clippy -- -D warnings ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "CI green."

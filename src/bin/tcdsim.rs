@@ -13,6 +13,7 @@
 
 use std::process::exit;
 use tcd_repro::flowctl::SimTime;
+use tcd_repro::harness::{self, Sweep};
 use tcd_repro::netsim::cchooks::FixedRate;
 use tcd_repro::report;
 use tcd_repro::scenarios::{self, observation, victim, Cc, CcAlgo, Network};
@@ -27,6 +28,7 @@ commands:
   victim     the head-of-line victim scenario (Table 3)
   fairness   the fairness scenario (Fig. 20)
   trees      reconstruct congestion trees mid-incast (Fig. 5)
+  sweep      the victim grid (network x detector x seed) on a worker pool
 
 common options:
   --network cee|ib     (default cee)
@@ -36,7 +38,12 @@ common options:
 
 observe options:   --multi-cp
 fairness options:  --cc dcqcn|timely|ibcc   (default dcqcn)
-trees options:     --at-ms F                (default 1.0)"
+trees options:     --at-ms F                (default 1.0)
+sweep options:     --seeds N                seeds per cell (default 3)
+                   --threads N              worker threads (default: TCD_THREADS
+                                            or the machine's parallelism; results
+                                            are identical at any value)
+                   --out DIR                report directory (default results)"
     );
     exit(2)
 }
@@ -50,11 +57,16 @@ struct Args {
     csv: Option<String>,
     cc: CcAlgo,
     at_ms: f64,
+    seeds: u64,
+    threads: usize,
+    out: String,
 }
 
 fn parse() -> Args {
     let argv: Vec<String> = std::env::args().collect();
-    let Some(cmd) = argv.get(1).cloned() else { usage() };
+    let Some(cmd) = argv.get(1).cloned() else {
+        usage()
+    };
     let mut a = Args {
         cmd,
         network: Network::Cee,
@@ -64,6 +76,9 @@ fn parse() -> Args {
         csv: None,
         cc: CcAlgo::Dcqcn,
         at_ms: 1.0,
+        seeds: 3,
+        threads: harness::default_threads(),
+        out: "results".to_string(),
     };
     let mut i = 2;
     while i < argv.len() {
@@ -85,7 +100,10 @@ fn parse() -> Args {
                 i += 1;
             }
             "--seed" => {
-                a.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                a.seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--csv" => {
@@ -102,7 +120,29 @@ fn parse() -> Args {
                 i += 2;
             }
             "--at-ms" => {
-                a.at_ms = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                a.at_ms = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seeds" => {
+                a.seeds = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--threads" => {
+                a.threads = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                a.out = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -129,7 +169,12 @@ fn cmd_observe(a: &Args) {
     let mut t = report::Table::new(vec!["flow", "pkts", "CE", "UE"]);
     for (name, f) in [("F0", r.f0), ("F1", r.f1), ("F2", r.f2)] {
         let d = r.sim.trace.flows[f.0 as usize].delivered;
-        t.row(vec![name.to_string(), d.pkts.to_string(), d.ce.to_string(), d.ue.to_string()]);
+        t.row(vec![
+            name.to_string(),
+            d.pkts.to_string(),
+            d.ce.to_string(),
+            d.ue.to_string(),
+        ]);
     }
     t.print();
     println!("PAUSE frames: {}", r.sim.trace.pause_frames);
@@ -162,7 +207,10 @@ fn cmd_victim(a: &Args) {
 }
 
 fn cmd_fairness(a: &Args) {
-    let cc = Cc { algo: a.cc, tcd: true };
+    let cc = Cc {
+        algo: a.cc,
+        tcd: true,
+    };
     let r = scenarios::fairness::run(cc, SimTime::from_ms(20));
     let last: Vec<String> = r
         .b_flows
@@ -185,7 +233,11 @@ fn cmd_trees(a: &Args) {
 
     let fig = figure2(Default::default());
     let cc = Cc {
-        algo: if a.network == Network::Ib { CcAlgo::IbCc } else { CcAlgo::Dcqcn },
+        algo: if a.network == Network::Ib {
+            CcAlgo::IbCc
+        } else {
+            CcAlgo::Dcqcn
+        },
         tcd: true,
     };
     let mut cfg = scenarios::default_config(a.network, true, SimTime::from_ms(6));
@@ -198,7 +250,13 @@ fn cmd_trees(a: &Args) {
     let mut sim = Simulator::new(fig.topo.clone(), cfg, select);
     sim.add_flow(fig.s1, fig.r1, 40_000_000, SimTime::ZERO, cc.controller());
     for &x in &fig.bursters {
-        sim.add_flow(x, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            x,
+            fig.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     sim.run_until(SimTime::from_ps((a.at_ms * 1e9) as u64));
     let snap = sim.congestion_snapshot(sim.config().data_prio);
@@ -220,6 +278,77 @@ fn cmd_trees(a: &Args) {
     }
 }
 
+fn cmd_sweep(a: &Args) {
+    let mut sweep = Sweep::new();
+    for network in [Network::Cee, Network::Ib] {
+        for use_tcd in [false, true] {
+            for seed in 1..=a.seeds {
+                let net = if network == Network::Ib { "ib" } else { "cee" };
+                let det = if use_tcd { "tcd" } else { "base" };
+                sweep.add(format!("victim_{net}_{det}_s{seed}"), move || {
+                    let r = victim::run(victim::Options {
+                        network,
+                        use_tcd,
+                        seed,
+                        ..Default::default()
+                    });
+                    harness::outcome_of(
+                        &r.sim,
+                        vec![
+                            ("victim_ce_fraction".into(), r.victim_ce_fraction()),
+                            (
+                                "victim_mean_fct_us".into(),
+                                r.victim_mean_fct().unwrap_or(0.0) * 1e6,
+                            ),
+                            ("pause_frames".into(), r.sim.trace.pause_frames as f64),
+                        ],
+                    )
+                });
+            }
+        }
+    }
+    let n = sweep.len();
+    println!("running {n} victim runs on {} threads...", a.threads);
+    let rep = sweep.run(a.threads);
+    let mut t = report::Table::new(vec!["run", "CE frac", "mean FCT (us)", "PAUSE"]);
+    for r in &rep.results {
+        t.row(vec![
+            r.id.clone(),
+            report::pct(r.outcome.metric("victim_ce_fraction").unwrap_or(0.0)),
+            report::f2(r.outcome.metric("victim_mean_fct_us").unwrap_or(0.0)),
+            format!("{}", r.outcome.metric("pause_frames").unwrap_or(0.0) as u64),
+        ]);
+    }
+    t.print();
+    let results = format!("{}/sweep.json", a.out);
+    let bench = format!("{}/BENCH_sweep.json", a.out);
+    rep.write_json(&results).expect("write sweep report");
+    rep.write_bench_json(
+        &bench,
+        "tcdsim sweep (victim grid)",
+        &[
+            (
+                "hot_path_baseline",
+                "pre-optimization engine (fresh Box per hop, O(all ports) TraceTick): \
+                 fig2 incast ~10.3-10.7 M events/s",
+            ),
+            (
+                "hot_path_current",
+                "packet-pool recycling + O(active ports) TraceTick: \
+                 fig2 incast ~12.3-13.3 M events/s (see simulator_scale bench preamble)",
+            ),
+        ],
+    )
+    .expect("write bench record");
+    println!(
+        "fingerprint {:016x} | {} events in {:.2} s ({:.0} events/s) | wrote {results} and {bench}",
+        rep.merged_fingerprint(),
+        rep.total_events(),
+        rep.total_wall_s,
+        rep.events_per_sec()
+    );
+}
+
 fn main() {
     let a = parse();
     match a.cmd.as_str() {
@@ -227,6 +356,7 @@ fn main() {
         "victim" => cmd_victim(&a),
         "fairness" => cmd_fairness(&a),
         "trees" => cmd_trees(&a),
+        "sweep" => cmd_sweep(&a),
         _ => usage(),
     }
 }

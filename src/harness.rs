@@ -1,0 +1,449 @@
+//! Deterministic parallel experiment harness.
+//!
+//! The paper's evaluation is a large grid of independent simulator runs
+//! (scenario × detector × CC algorithm × burst size × seed). Each run is
+//! a pure function of its configuration — the engine's event queue breaks
+//! timestamp ties by insertion order and every random draw derives from
+//! the run's seed — so the grid parallelises trivially: a [`Sweep`] farms
+//! the runs out to a fixed-size `std::thread` worker pool through a work
+//! queue, writes every result into its submission-order slot, and merges
+//! them into a [`SweepReport`] whose contents are **bit-identical at any
+//! thread count**. Only wall-clock timings differ between thread counts,
+//! and those are confined to the perf record
+//! ([`SweepReport::write_bench_json`], conventionally `BENCH_sweep.json`);
+//! the result report ([`SweepReport::to_json`]) contains deterministic
+//! fields only.
+//!
+//! Worker threads are plain `std::thread::scope` threads — no external
+//! dependencies — and the thread count comes from `--threads`, the
+//! `TCD_THREADS` environment variable, or the machine's parallelism, in
+//! that order (see [`default_threads`]).
+
+use lossless_netsim::Simulator;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The deterministic product of one run: a fingerprint of everything the
+/// simulation computed, the engine's event count, and named scalar
+/// metrics the experiment wants to report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// FNV-1a digest of the run's observable results (see
+    /// [`fingerprint_sim`]).
+    pub fingerprint: u64,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Named metrics, in insertion order (kept as a `Vec` so report
+    /// ordering is exactly the experiment's ordering).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunOutcome {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// One run's result with its (non-deterministic) wall time.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The job id given to [`Sweep::add`].
+    pub id: String,
+    /// Deterministic outcome.
+    pub outcome: RunOutcome,
+    /// Wall-clock seconds this run took on its worker.
+    pub wall_s: f64,
+}
+
+type JobFn = Box<dyn FnOnce() -> RunOutcome + Send>;
+
+/// A set of independent runs to execute in parallel.
+#[derive(Default)]
+pub struct Sweep {
+    jobs: Vec<(String, JobFn)>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Queue a run. `job` must be a pure function of its captured
+    /// configuration (it runs on a worker thread; build the simulator
+    /// *inside* the closure so no state leaks across runs).
+    pub fn add(
+        &mut self,
+        id: impl Into<String>,
+        job: impl FnOnce() -> RunOutcome + Send + 'static,
+    ) {
+        self.jobs.push((id.into(), Box::new(job)));
+    }
+
+    /// Number of queued runs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sweep has no runs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute all runs on `threads` workers and merge the results in
+    /// submission order. The merged report is identical for every
+    /// `threads >= 1` except for wall-clock fields.
+    pub fn run(self, threads: usize) -> SweepReport {
+        let n = self.jobs.len();
+        let threads = threads.max(1).min(n.max(1));
+        let started = Instant::now();
+
+        // Work queue: an atomic cursor over submission-order slots. Each
+        // worker claims the next un-run job and writes the result into
+        // that job's slot, so the merge order is the submission order no
+        // matter which worker ran what.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(String, JobFn)>>> =
+            self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (id, job) = slots[i].lock().unwrap().take().expect("job claimed twice");
+                    let t0 = Instant::now();
+                    let outcome = job();
+                    let wall_s = t0.elapsed().as_secs_f64();
+                    *results[i].lock().unwrap() = Some(RunResult {
+                        id,
+                        outcome,
+                        wall_s,
+                    });
+                });
+            }
+        });
+
+        let results: Vec<RunResult> = results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("job did not run"))
+            .collect();
+        SweepReport {
+            threads,
+            total_wall_s: started.elapsed().as_secs_f64(),
+            results,
+        }
+    }
+}
+
+/// Merged results of a [`Sweep`], in submission order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub total_wall_s: f64,
+    /// Per-run results, in submission order.
+    pub results: Vec<RunResult>,
+}
+
+impl SweepReport {
+    /// FNV-1a digest over the per-run fingerprints, in order — one number
+    /// that certifies the entire sweep reproduced.
+    pub fn merged_fingerprint(&self) -> u64 {
+        let mut f = Fnv::new();
+        for r in &self.results {
+            f.write_u64(r.outcome.fingerprint);
+        }
+        f.finish()
+    }
+
+    /// Total events dispatched across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.results.iter().map(|r| r.outcome.events).sum()
+    }
+
+    /// Aggregate simulator throughput: total events over sweep wall time
+    /// (so it reflects the parallel speed-up).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.total_wall_s > 0.0 {
+            self.total_events() as f64 / self.total_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic result report: ids, fingerprints, event counts
+    /// and metrics — no timings. Byte-identical at any thread count.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"runs\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"fingerprint\": \"{:016x}\", \"events\": {}, \"metrics\": {{",
+                json_str(&r.id),
+                r.outcome.fingerprint,
+                r.outcome.events,
+            ));
+            for (j, (k, v)) in r.outcome.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("{}: {}", json_str(k), json_f64(*v)));
+            }
+            s.push_str(if i + 1 < self.results.len() {
+                "}},\n"
+            } else {
+                "}}\n"
+            });
+        }
+        s.push_str(&format!(
+            "  ],\n  \"merged_fingerprint\": \"{:016x}\"\n}}\n",
+            self.merged_fingerprint()
+        ));
+        s
+    }
+
+    /// Write [`to_json`](SweepReport::to_json) to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Write the perf record (conventionally `BENCH_sweep.json`): thread
+    /// count, wall times and events/sec per run and in aggregate, plus
+    /// the merged fingerprint so a perf record is traceable to the exact
+    /// results it timed. `notes` are free-form key/value annotations
+    /// (e.g. baseline numbers the current run is compared against).
+    pub fn write_bench_json(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        label: &str,
+        notes: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"label\": {},", json_str(label))?;
+        if !notes.is_empty() {
+            writeln!(f, "  \"notes\": {{")?;
+            for (i, (k, v)) in notes.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    {}: {}{}",
+                    json_str(k),
+                    json_str(v),
+                    if i + 1 < notes.len() { "," } else { "" },
+                )?;
+            }
+            writeln!(f, "  }},")?;
+        }
+        writeln!(f, "  \"threads\": {},", self.threads)?;
+        writeln!(f, "  \"total_wall_s\": {},", json_f64(self.total_wall_s))?;
+        writeln!(f, "  \"total_events\": {},", self.total_events())?;
+        writeln!(
+            f,
+            "  \"events_per_sec\": {},",
+            json_f64(self.events_per_sec())
+        )?;
+        writeln!(
+            f,
+            "  \"merged_fingerprint\": \"{:016x}\",",
+            self.merged_fingerprint()
+        )?;
+        writeln!(f, "  \"runs\": [")?;
+        for (i, r) in self.results.iter().enumerate() {
+            let eps = if r.wall_s > 0.0 {
+                r.outcome.events as f64 / r.wall_s
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "    {{\"id\": {}, \"wall_s\": {}, \"events\": {}, \"events_per_sec\": {}}}{}",
+                json_str(&r.id),
+                json_f64(r.wall_s),
+                r.outcome.events,
+                json_f64(eps),
+                if i + 1 < self.results.len() { "," } else { "" },
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        Ok(())
+    }
+}
+
+/// Worker thread count: `TCD_THREADS` when set (clamped to ≥ 1), else
+/// the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TCD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// FNV-1a digest of everything a run observably computed: every flow's
+/// lifecycle record plus the trace's aggregate counters. Two runs with
+/// equal fingerprints delivered the same bytes with the same markings at
+/// the same (picosecond) times.
+pub fn fingerprint_sim(sim: &Simulator) -> u64 {
+    let t = &sim.trace;
+    let mut f = Fnv::new();
+    for r in &t.flows {
+        f.write_u64(r.flow.0 as u64);
+        f.write_u64(r.size);
+        f.write_u64(r.start.as_ps());
+        f.write_u64(r.end.map(|e| e.as_ps()).unwrap_or(u64::MAX));
+        f.write_u64(r.delivered.pkts);
+        f.write_u64(r.delivered.bytes);
+        f.write_u64(r.delivered.ce);
+        f.write_u64(r.delivered.ue);
+    }
+    f.write_u64(t.forwarded_pkts);
+    f.write_u64(t.pause_frames);
+    f.write_u64(t.drops);
+    f.write_u64(t.port_samples.len() as u64);
+    f.write_u64(t.events);
+    f.finish()
+}
+
+/// Build a [`RunOutcome`] from a finished simulator and its metrics.
+pub fn outcome_of(sim: &Simulator, metrics: Vec<(String, f64)>) -> RunOutcome {
+    RunOutcome {
+        fingerprint: fingerprint_sim(sim),
+        events: sim.trace.events,
+        metrics,
+    }
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv {
+    h: u64,
+}
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv {
+            h: 0xcbf29ce484222325,
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON-safe float formatting (JSON has no NaN/Inf; `{:?}` keeps full
+/// round-trip precision for finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_job(seed: u64) -> RunOutcome {
+        // A deterministic stand-in for a simulator run.
+        let mut h = Fnv::new();
+        h.write_u64(seed);
+        RunOutcome {
+            fingerprint: h.finish(),
+            events: 100 + seed,
+            metrics: vec![("seed".into(), seed as f64)],
+        }
+    }
+
+    fn toy_sweep(n: u64) -> Sweep {
+        let mut s = Sweep::new();
+        for seed in 0..n {
+            s.add(format!("run{seed}"), move || toy_job(seed));
+        }
+        s
+    }
+
+    #[test]
+    fn results_stay_in_submission_order() {
+        let rep = toy_sweep(16).run(4);
+        let ids: Vec<&str> = rep.results.iter().map(|r| r.id.as_str()).collect();
+        let want: Vec<String> = (0..16).map(|i| format!("run{i}")).collect();
+        assert_eq!(ids, want.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let a = toy_sweep(9).run(1);
+        let b = toy_sweep(9).run(3);
+        let c = toy_sweep(9).run(64); // more threads than jobs
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_json(), c.to_json());
+        assert_eq!(a.merged_fingerprint(), b.merged_fingerprint());
+    }
+
+    #[test]
+    fn empty_sweep_runs() {
+        let rep = Sweep::new().run(8);
+        assert!(rep.results.is_empty());
+        assert_eq!(rep.total_events(), 0);
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let rep = toy_sweep(3).run(2);
+        assert_eq!(rep.results[2].outcome.metric("seed"), Some(2.0));
+        assert_eq!(rep.results[2].outcome.metric("missing"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

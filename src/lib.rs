@@ -12,5 +12,6 @@ pub use lossless_stats as stats;
 pub use lossless_workloads as workloads;
 pub use tcd_core as tcd;
 
+pub mod harness;
 pub mod report;
 pub mod scenarios;

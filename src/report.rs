@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// New table with column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -93,7 +96,16 @@ pub fn write_port_samples_csv(
 ) -> std::io::Result<()> {
     lossless_stats::export::write_csv(
         path,
-        &["t_us", "node", "port", "prio", "queue_bytes", "tx_bytes", "state", "paused"],
+        &[
+            "t_us",
+            "node",
+            "port",
+            "prio",
+            "queue_bytes",
+            "tx_bytes",
+            "state",
+            "paused",
+        ],
         sim.trace.port_samples.iter().map(|s| {
             vec![
                 format!("{:.3}", s.t.as_us_f64()),
@@ -116,7 +128,9 @@ pub fn write_flows_csv(
 ) -> std::io::Result<()> {
     lossless_stats::export::write_csv(
         path,
-        &["flow", "src", "dst", "size", "start_us", "fct_us", "pkts", "ce", "ue"],
+        &[
+            "flow", "src", "dst", "size", "start_us", "fct_us", "pkts", "ce", "ue",
+        ],
         sim.trace.flows.iter().map(|f| {
             vec![
                 f.flow.0.to_string(),
@@ -124,7 +138,9 @@ pub fn write_flows_csv(
                 f.dst.0.to_string(),
                 f.size.to_string(),
                 format!("{:.3}", f.start.as_us_f64()),
-                f.fct().map(|d| format!("{:.3}", d.as_us_f64())).unwrap_or_default(),
+                f.fct()
+                    .map(|d| format!("{:.3}", d.as_us_f64()))
+                    .unwrap_or_default(),
                 f.delivered.pkts.to_string(),
                 f.delivered.ce.to_string(),
                 f.delivered.ue.to_string(),
@@ -134,13 +150,18 @@ pub fn write_flows_csv(
 }
 
 /// Minimal CLI parsing for the experiment binaries: supports
-/// `--scale <f64>`, `--seed <u64>` and `--full` (scale = 1.0).
+/// `--scale <f64>`, `--seed <u64>`, `--threads <usize>` and `--full`
+/// (scale = 1.0).
 #[derive(Debug, Clone, Copy)]
 pub struct ExpArgs {
     /// Work scale factor relative to the paper's full setup (default 0.1).
     pub scale: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for sweep-style experiments (`--threads`, else
+    /// `TCD_THREADS`, else the machine's parallelism). Results are
+    /// bit-identical at any value; only wall time changes.
+    pub threads: usize,
 }
 
 impl ExpArgs {
@@ -148,6 +169,7 @@ impl ExpArgs {
     pub fn parse(default_scale: f64) -> ExpArgs {
         let mut scale = default_scale;
         let mut seed = 1u64;
+        let mut threads = crate::harness::default_threads();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -166,15 +188,29 @@ impl ExpArgs {
                         .unwrap_or_else(|| panic!("--seed needs an integer"));
                     i += 2;
                 }
+                "--threads" => {
+                    threads = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| panic!("--threads needs a positive integer"));
+                    i += 2;
+                }
                 "--full" => {
                     scale = 1.0;
                     i += 1;
                 }
-                other => panic!("unknown argument: {other} (supported: --scale F, --seed N, --full)"),
+                other => panic!(
+                    "unknown argument: {other} (supported: --scale F, --seed N, --threads N, --full)"
+                ),
             }
         }
         assert!(scale > 0.0, "scale must be positive");
-        ExpArgs { scale, seed }
+        ExpArgs {
+            scale,
+            seed,
+            threads,
+        }
     }
 
     /// Scale an integer quantity, keeping at least `min`.
@@ -219,7 +255,11 @@ mod tests {
 
     #[test]
     fn scaled_respects_minimum() {
-        let a = ExpArgs { scale: 0.01, seed: 1 };
+        let a = ExpArgs {
+            scale: 0.01,
+            seed: 1,
+            threads: 1,
+        };
         assert_eq!(a.scaled(40_000, 100), 400);
         assert_eq!(a.scaled(50, 100), 100);
     }

@@ -109,7 +109,11 @@ impl Cc {
 /// recommended ε, queue thresholds matching the ECN marking point
 /// (K_max = 200 KB) and a 5 KB low watermark.
 pub fn cee_tcd_config(rate: Rate, propagation: SimDuration, epsilon: f64) -> TcdConfig {
-    TcdConfig::new(cee_max_ton(rate, 1000, propagation, epsilon), 200 * 1024, 5 * 1024)
+    TcdConfig::new(
+        cee_max_ton(rate, 1000, propagation, epsilon),
+        200 * 1024,
+        5 * 1024,
+    )
 }
 
 /// TCD detector configuration for an InfiniBand network (paper §4.4):
@@ -126,7 +130,9 @@ pub fn ib_tcd_config(cbfc: &CbfcConfig) -> TcdConfig {
 pub fn baseline_detector(network: Network) -> DetectorKind {
     match network {
         Network::Cee => DetectorKind::EcnRed(RedConfig::dcqcn_40g()),
-        Network::Ib => DetectorKind::IbFecn { threshold_bytes: 50 * 1024 },
+        Network::Ib => DetectorKind::IbFecn {
+            threshold_bytes: 50 * 1024,
+        },
     }
 }
 
@@ -139,11 +145,17 @@ pub fn default_config(network: Network, use_tcd: bool, end: SimTime) -> SimConfi
     if use_tcd {
         cfg.detector = match network {
             Network::Cee => DetectorKind::TcdRed(
-                cee_tcd_config(Rate::from_gbps(40), SimDuration::from_us(4), RECOMMENDED_EPSILON),
+                cee_tcd_config(
+                    Rate::from_gbps(40),
+                    SimDuration::from_us(4),
+                    RECOMMENDED_EPSILON,
+                ),
                 RedConfig::dcqcn_40g(),
             ),
             Network::Ib => {
-                let FlowControlMode::Cbfc(c) = cfg.flow_control else { unreachable!() };
+                let FlowControlMode::Cbfc(c) = cfg.flow_control else {
+                    unreachable!()
+                };
                 DetectorKind::TcdFecn(ib_tcd_config(&c), 50 * 1024)
             }
         };
@@ -234,25 +246,57 @@ pub mod observation {
 
         // Bursts: A0..A14 send back-to-back 64 KB bursts for ~3 ms; the
         // aggregate is sized so the bottleneck stays saturated that long.
-        let rounds = rounds_for_duration(fig.bursters.len(), 64 * 1024, 40, SimDuration::from_ms(3));
+        let rounds =
+            rounds_for_duration(fig.bursters.len(), 64 * 1024, 40, SimDuration::from_ms(3));
         let burst_bytes = rounds as u64 * 64 * 1024;
         let bursts: Vec<FlowId> = fig
             .bursters
             .iter()
-            .map(|&a| sim.add_flow(a, fig.r1, burst_bytes, SimTime::ZERO, Box::new(FixedRate::line_rate())))
+            .map(|&a| {
+                sim.add_flow(
+                    a,
+                    fig.r1,
+                    burst_bytes,
+                    SimTime::ZERO,
+                    Box::new(FixedRate::line_rate()),
+                )
+            })
             .collect();
 
         // F0/F2: constant-rate cross traffic to R0, started once F1 has
         // been throttled ("the rate of F1 has decreased below 15 Gbps when
         // F0 and F2 start").
-        let cross = if opt.multi_cp { Rate::from_gbps(25) } else { Rate::from_gbps(5) };
+        let cross = if opt.multi_cp {
+            Rate::from_gbps(25)
+        } else {
+            Rate::from_gbps(5)
+        };
         let cross_start = SimTime::from_us(200);
         let cross_bytes = cross.bytes_in(opt.end.saturating_since(cross_start)).max(1);
-        let f0 = sim.add_flow(fig.s0, fig.r0, cross_bytes, cross_start, Box::new(FixedRate::new(cross)));
-        let f2 = sim.add_flow(fig.s2, fig.r0, cross_bytes, cross_start, Box::new(FixedRate::new(cross)));
+        let f0 = sim.add_flow(
+            fig.s0,
+            fig.r0,
+            cross_bytes,
+            cross_start,
+            Box::new(FixedRate::new(cross)),
+        );
+        let f2 = sim.add_flow(
+            fig.s2,
+            fig.r0,
+            cross_bytes,
+            cross_start,
+            Box::new(FixedRate::new(cross)),
+        );
 
         sim.run();
-        Run { sim, fig, f1, f0, f2, bursts }
+        Run {
+            sim,
+            fig,
+            f1,
+            f0,
+            f2,
+            bursts,
+        }
     }
 
     /// Convenience: the `(node, port)` of the paper's P0..P3 as sampled.
@@ -454,7 +498,10 @@ pub mod victim {
         };
         let mut victims = Vec::new();
         let mut congested = Vec::new();
-        for (src, dst, sink) in [(fig.s0, fig.r0, &mut victims), (fig.s1, fig.r1, &mut congested)] {
+        for (src, dst, sink) in [
+            (fig.s0, fig.r0, &mut victims),
+            (fig.s1, fig.r1, &mut congested),
+        ] {
             let mut arr = PoissonArrivals::for_load(opt.load, edge, mean, SimTime::ZERO);
             // Leave room at the end so most flows can finish.
             let gen_end = SimTime::from_ps(opt.end.as_ps() * 3 / 4);
@@ -495,7 +542,13 @@ pub mod victim {
         }
 
         sim.run();
-        Run { sim, fig, victims, congested, bursts }
+        Run {
+            sim,
+            fig,
+            victims,
+            congested,
+            bursts,
+        }
     }
 }
 
@@ -605,7 +658,14 @@ pub mod testbed {
         );
 
         sim.run();
-        Run { sim, tb, f0, f1, a0, burst_window: (burst_start, burst_stop) }
+        Run {
+            sim,
+            tb,
+            f0,
+            f1,
+            a0,
+            burst_window: (burst_start, burst_stop),
+        }
     }
 }
 
@@ -813,13 +873,31 @@ pub mod workload {
         let mut rng = StdRng::seed_from_u64(opt.seed);
 
         let hosts_per_rack = opt.k / 2;
-        let roles = assign_roles(ft.hosts.len(), hosts_per_rack, (opt.k / 4).max(1), 0.25, &mut rng);
-        let io_servers: Vec<usize> =
-            roles.iter().enumerate().filter(|(_, r)| **r == HpcRole::IoServer).map(|(i, _)| i).collect();
-        let io_clients: Vec<usize> =
-            roles.iter().enumerate().filter(|(_, r)| **r == HpcRole::IoClient).map(|(i, _)| i).collect();
-        let mpi_nodes: Vec<usize> =
-            roles.iter().enumerate().filter(|(_, r)| **r == HpcRole::Mpi).map(|(i, _)| i).collect();
+        let roles = assign_roles(
+            ft.hosts.len(),
+            hosts_per_rack,
+            (opt.k / 4).max(1),
+            0.25,
+            &mut rng,
+        );
+        let io_servers: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == HpcRole::IoServer)
+            .map(|(i, _)| i)
+            .collect();
+        let io_clients: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == HpcRole::IoClient)
+            .map(|(i, _)| i)
+            .collect();
+        let mpi_nodes: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == HpcRole::Mpi)
+            .map(|(i, _)| i)
+            .collect();
         let mpi_cdf = mpi_io::mpi_message_cdf();
 
         // Aggregate Poisson arrival stream at moderate load.
@@ -878,7 +956,13 @@ pub mod workload {
             slowdowns.push((rec.size, fct.as_secs_f64() / ideal.as_secs_f64()));
         }
         let completion_rate = completed as f64 / flows.len().max(1) as f64;
-        Run { sim, ft, flows, slowdowns, completion_rate }
+        Run {
+            sim,
+            ft,
+            flows,
+            slowdowns,
+            completion_rate,
+        }
     }
 }
 
@@ -906,7 +990,10 @@ pub mod fairness {
 
     /// Build and run the fairness scenario with the given CC.
     pub fn run(cc: Cc, end: SimTime) -> Run {
-        let fig = figure2(Figure2Options { with_b_hosts: true, ..Default::default() });
+        let fig = figure2(Figure2Options {
+            with_b_hosts: true,
+            ..Default::default()
+        });
         let network = match cc.algo {
             CcAlgo::IbCc => Network::Ib,
             _ => Network::Cee,
@@ -921,7 +1008,8 @@ pub mod fairness {
         let mut sim = Simulator::new(fig.topo.clone(), cfg, network.routing());
 
         let f1 = sim.add_flow(fig.s1, fig.r1, 40_000_000, SimTime::ZERO, cc.controller());
-        let rounds = rounds_for_duration(fig.bursters.len(), 64 * 1024, 40, SimDuration::from_ms(3));
+        let rounds =
+            rounds_for_duration(fig.bursters.len(), 64 * 1024, 40, SimDuration::from_ms(3));
         for &a in &fig.bursters {
             sim.add_flow(
                 a,
@@ -938,6 +1026,11 @@ pub mod fairness {
             .collect();
 
         sim.run();
-        Run { sim, fig, b_flows, f1 }
+        Run {
+            sim,
+            fig,
+            b_flows,
+            f1,
+        }
     }
 }

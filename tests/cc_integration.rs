@@ -58,7 +58,10 @@ fn tcd_variants_never_ce_flag_victims() {
             .iter()
             .filter(|f| r.sim.trace.flows[f.0 as usize].delivered.ce > 0)
             .count();
-        assert_eq!(flagged, 0, "{algo:?}+tcd flagged {flagged} victims as congested");
+        assert_eq!(
+            flagged, 0,
+            "{algo:?}+tcd flagged {flagged} victims as congested"
+        );
     }
 }
 
@@ -71,7 +74,10 @@ fn baselines_do_flag_victims() {
             .iter()
             .filter(|f| r.sim.trace.flows[f.0 as usize].delivered.ce > 0)
             .count();
-        assert!(flagged > 0, "{algo:?} baseline should mistakenly flag victims");
+        assert!(
+            flagged > 0,
+            "{algo:?} baseline should mistakenly flag victims"
+        );
     }
 }
 
@@ -100,5 +106,8 @@ fn ue_notifications_reach_tcd_endpoints_only() {
         .iter()
         .filter(|f| r.sim.trace.flows[f.0 as usize].delivered.ue > 0)
         .count();
-    assert!(ue_flagged > 0, "TCD run must deliver UE-marked packets to victims");
+    assert!(
+        ue_flagged > 0,
+        "TCD run must deliver UE-marked packets to victims"
+    );
 }

@@ -18,13 +18,22 @@ fn deep_tree_visible_mid_burst() {
     // During the incast, P3 (T3 -> R1) is the root; the chain ports P2,
     // P1 (and P0) are its transitive leaves.
     let fig = figure2(Figure2Options::default());
-    let cc = Cc { algo: CcAlgo::Dcqcn, tcd: true };
+    let cc = Cc {
+        algo: CcAlgo::Dcqcn,
+        tcd: true,
+    };
     let mut cfg = default_config(Network::Cee, true, SimTime::from_ms(6));
     cfg.feedback = cc.feedback();
     let mut sim = Simulator::new(fig.topo.clone(), cfg, RouteSelect::Ecmp);
     sim.add_flow(fig.s1, fig.r1, 40_000_000, SimTime::ZERO, cc.controller());
     for &a in &fig.bursters {
-        sim.add_flow(a, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            fig.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
 
     // Run into the middle of the burst phase, then snapshot.
@@ -59,19 +68,40 @@ fn covered_root_relation_detected_in_snapshot() {
     // Multi-congestion-point variant: after the bursts end, P2 (fed by
     // 50 Gbps of F0+F2) persists as a root of its own tree.
     let fig = figure2(Figure2Options::default());
-    let cc = Cc { algo: CcAlgo::Dcqcn, tcd: true };
+    let cc = Cc {
+        algo: CcAlgo::Dcqcn,
+        tcd: true,
+    };
     let mut cfg = default_config(Network::Cee, true, SimTime::from_ms(6));
     cfg.feedback = cc.feedback();
     let mut sim = Simulator::new(fig.topo.clone(), cfg, RouteSelect::Ecmp);
     sim.add_flow(fig.s1, fig.r1, 40_000_000, SimTime::ZERO, cc.controller());
     for &a in &fig.bursters {
-        sim.add_flow(a, fig.r1, 1_000_000, SimTime::ZERO, Box::new(FixedRate::line_rate()));
+        sim.add_flow(
+            a,
+            fig.r1,
+            1_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
     }
     use tcd_repro::flowctl::Rate;
     let rate = Rate::from_gbps(25);
     let bytes = rate.bytes_in(tcd_repro::flowctl::SimDuration::from_ms(6));
-    sim.add_flow(fig.s0, fig.r0, bytes, SimTime::from_us(200), Box::new(FixedRate::new(rate)));
-    sim.add_flow(fig.s2, fig.r0, bytes, SimTime::from_us(200), Box::new(FixedRate::new(rate)));
+    sim.add_flow(
+        fig.s0,
+        fig.r0,
+        bytes,
+        SimTime::from_us(200),
+        Box::new(FixedRate::new(rate)),
+    );
+    sim.add_flow(
+        fig.s2,
+        fig.r0,
+        bytes,
+        SimTime::from_us(200),
+        Box::new(FixedRate::new(rate)),
+    );
 
     sim.run_until(SimTime::from_ms(5));
     let snap = sim.congestion_snapshot(sim.config().data_prio);
@@ -84,5 +114,8 @@ fn covered_root_relation_detected_in_snapshot() {
     );
     // Its pressure reaches upstream: P1 is its leaf.
     let p1 = key(fig.p1.0 .0, fig.p1.1);
-    assert!(t2_tree.unwrap().leaves.contains(&p1), "P1 must be paused by P2's tree");
+    assert!(
+        t2_tree.unwrap().leaves.contains(&p1),
+        "P1 must be paused by P2's tree"
+    );
 }

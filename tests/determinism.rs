@@ -11,7 +11,14 @@ fn fingerprint(r: &victim::Run) -> Vec<(u64, u64, u64, Option<u64>)> {
         .trace
         .flows
         .iter()
-        .map(|f| (f.delivered.bytes, f.delivered.ce, f.delivered.ue, f.end.map(|t| t.as_ps())))
+        .map(|f| {
+            (
+                f.delivered.bytes,
+                f.delivered.ce,
+                f.delivered.ue,
+                f.end.map(|t| t.as_ps()),
+            )
+        })
         .collect()
 }
 
@@ -21,7 +28,10 @@ fn victim_scenario_is_reproducible() {
         victim::run(victim::Options {
             network: Network::Cee,
             use_tcd: true,
-            cc: Some(Cc { algo: CcAlgo::Dcqcn, tcd: true }),
+            cc: Some(Cc {
+                algo: CcAlgo::Dcqcn,
+                tcd: true,
+            }),
             end: SimTime::from_ms(10),
             seed: 42,
             ..Default::default()
@@ -36,13 +46,20 @@ fn different_seeds_differ() {
         victim::run(victim::Options {
             network: Network::Cee,
             use_tcd: true,
-            cc: Some(Cc { algo: CcAlgo::Dcqcn, tcd: true }),
+            cc: Some(Cc {
+                algo: CcAlgo::Dcqcn,
+                tcd: true,
+            }),
             end: SimTime::from_ms(10),
             seed,
             ..Default::default()
         })
     };
-    assert_ne!(fingerprint(&mk(1)), fingerprint(&mk(2)), "seeds must matter");
+    assert_ne!(
+        fingerprint(&mk(1)),
+        fingerprint(&mk(2)),
+        "seeds must matter"
+    );
 }
 
 #[test]
@@ -51,7 +68,10 @@ fn ib_scenario_is_reproducible() {
         victim::run(victim::Options {
             network: Network::Ib,
             use_tcd: true,
-            cc: Some(Cc { algo: CcAlgo::IbCc, tcd: true }),
+            cc: Some(Cc {
+                algo: CcAlgo::IbCc,
+                tcd: true,
+            }),
             load: 0.3,
             burst_gap: SimDuration::from_us(700),
             end: SimTime::from_ms(10),
@@ -70,7 +90,10 @@ fn timely_scenario_is_reproducible() {
         victim::run(victim::Options {
             network: Network::Cee,
             use_tcd: true,
-            cc: Some(Cc { algo: CcAlgo::Timely, tcd: true }),
+            cc: Some(Cc {
+                algo: CcAlgo::Timely,
+                tcd: true,
+            }),
             end: SimTime::from_ms(8),
             seed: 9,
             ..Default::default()

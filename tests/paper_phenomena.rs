@@ -9,7 +9,13 @@ use tcd_repro::scenarios::Network;
 use tcd_repro::tcd::TernaryState;
 
 fn short(network: Network, multi_cp: bool, use_tcd: bool, end_ms: u64) -> Options {
-    Options { network, multi_cp, use_tcd, end: SimTime::from_ms(end_ms), ..Default::default() }
+    Options {
+        network,
+        multi_cp,
+        use_tcd,
+        end: SimTime::from_ms(end_ms),
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -22,7 +28,10 @@ fn cee_ecn_improperly_marks_victims() {
     assert!(d0.pkts > 50 && d2.pkts > 50, "cross flows must run");
     assert!(d0.ce > 0, "ECN blames victim F0 (got {} CE)", d0.ce);
     assert!(d2.ce > 0, "ECN blames victim F2");
-    assert!(r.sim.trace.pause_frames > 0, "congestion must spread via PFC");
+    assert!(
+        r.sim.trace.pause_frames > 0,
+        "congestion must spread via PFC"
+    );
 }
 
 #[test]
@@ -35,7 +44,10 @@ fn cee_tcd_protects_victims_and_marks_culprits() {
     let d2 = r.sim.trace.flows[r.f2.0 as usize].delivered;
     assert_eq!(d0.ce, 0, "TCD must not CE-mark victim F0");
     assert_eq!(d2.ce, 0, "TCD must not CE-mark victim F2");
-    assert!(d0.ue > 0, "victim F0 must be told it crossed undetermined ports");
+    assert!(
+        d0.ue > 0,
+        "victim F0 must be told it crossed undetermined ports"
+    );
     assert!(d1.ce > 0, "congested F1 must be CE-marked");
 }
 
@@ -53,8 +65,15 @@ fn cee_single_cp_p2_ends_non_congested() {
         .filter(|s| s.node == r.fig.p2.0 && s.port == r.fig.p2.1 && s.prio == prio)
         .map(|s| s.state)
         .collect();
-    assert!(states.iter().any(|s| s.is_undetermined()), "P2 must visit undetermined");
-    assert_eq!(*states.last().unwrap(), TernaryState::NonCongestion, "P2 must end at 0");
+    assert!(
+        states.iter().any(|s| s.is_undetermined()),
+        "P2 must visit undetermined"
+    );
+    assert_eq!(
+        *states.last().unwrap(),
+        TernaryState::NonCongestion,
+        "P2 must end at 0"
+    );
 }
 
 #[test]
@@ -71,7 +90,10 @@ fn cee_multi_cp_covered_root_emerges() {
         .filter(|s| s.node == r.fig.p2.0 && s.port == r.fig.p2.1 && s.prio == prio)
         .map(|s| s.state)
         .collect();
-    let undet_at = states.iter().position(|s| s.is_undetermined()).expect("P2 undetermined");
+    let undet_at = states
+        .iter()
+        .position(|s| s.is_undetermined())
+        .expect("P2 undetermined");
     assert!(
         states[undet_at..].contains(&TernaryState::Congestion),
         "the covered root must transition undetermined -> congestion"
@@ -97,7 +119,10 @@ fn ib_multi_cp_covered_root_emerges() {
         .filter(|s| s.node == r.fig.p2.0 && s.port == r.fig.p2.1 && s.prio == prio)
         .map(|s| s.state)
         .collect();
-    let undet_at = states.iter().position(|s| s.is_undetermined()).expect("P2 undetermined");
+    let undet_at = states
+        .iter()
+        .position(|s| s.is_undetermined())
+        .expect("P2 undetermined");
     assert!(
         states[undet_at..].contains(&TernaryState::Congestion),
         "the IB covered root must transition undetermined -> congestion"

@@ -22,9 +22,20 @@ struct FlowPlan {
 }
 
 fn flow_plan(n_hosts: usize) -> impl Strategy<Value = FlowPlan> {
-    (0..n_hosts, 0..n_hosts, 1_000u64..400_000, 0u64..500, 100u64..40_000).prop_map(
-        |(src, dst, size, start_us, rate_mbps)| FlowPlan { src, dst, size, start_us, rate_mbps },
+    (
+        0..n_hosts,
+        0..n_hosts,
+        1_000u64..400_000,
+        0u64..500,
+        100u64..40_000,
     )
+        .prop_map(|(src, dst, size, start_us, rate_mbps)| FlowPlan {
+            src,
+            dst,
+            size,
+            start_us,
+            rate_mbps,
+        })
 }
 
 fn run_plan(network: Network, use_tcd: bool, plans: &[FlowPlan]) -> Simulator {
