@@ -54,6 +54,17 @@ impl TernaryState {
             TernaryState::Undetermined => '/',
         }
     }
+
+    /// Parse a paper symbol back into a state (the inverse of
+    /// [`symbol`](TernaryState::symbol)); `None` for anything else.
+    pub fn from_symbol(c: char) -> Option<TernaryState> {
+        match c {
+            '0' => Some(TernaryState::NonCongestion),
+            '1' => Some(TernaryState::Congestion),
+            '/' => Some(TernaryState::Undetermined),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TernaryState {

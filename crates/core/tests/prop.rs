@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use tcd_core::baseline::{EcnRed, RedConfig};
 use tcd_core::detector::{CongestionDetector, DequeueContext};
 use tcd_core::model::{cee_max_ton, ib_ton_secs, OnOffModel};
+use tcd_core::state::Transition;
 use tcd_core::{CodePoint, TcdConfig, TcdDetector, TernaryState};
 
 fn cp_strategy() -> impl Strategy<Value = CodePoint> {
@@ -94,6 +95,88 @@ proptest! {
             prop_assert_eq!(det.port_state(), expect);
             prop_assert!(!det.port_state().is_undetermined(),
                 "a never-paused port can never be undetermined");
+        }
+    }
+
+    /// Arbitrary interleavings of ON/OFF edges, queue trends and timer
+    /// fires only ever move the detector along Fig. 6's six transitions:
+    /// every observed state change classifies to one of them with matching
+    /// endpoints, and Undetermined is only ever entered after at least one
+    /// OFF period.
+    #[test]
+    fn arbitrary_sequences_take_only_the_six_transitions(
+        events in proptest::collection::vec((0u8..4, 1u64..80, 0u64..400_000), 1..300)
+    ) {
+        let cfg = TcdConfig::new(SimDuration::from_us(60), 200_000, 5_000);
+        let mut det = TcdDetector::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut prev = det.port_state();
+        prop_assert_eq!(prev, TernaryState::NonCongestion, "fresh port starts at 0");
+        let mut offs = 0u64;
+        for (op, dt_us, q) in events {
+            now += SimDuration::from_us(dt_us);
+            match op {
+                0 => { det.on_pause(now); offs += 1; }
+                1 => det.on_resume(now),
+                2 => {
+                    let _ = det.on_dequeue(&DequeueContext {
+                        now, queue_bytes: q, delayed_by_fc: false,
+                    });
+                }
+                _ => {
+                    // Timers only fire while armed (the engine's contract).
+                    if let Some(d) = det.timer_deadline() {
+                        now = now.max(d);
+                        det.on_timer(now, q, false);
+                    }
+                }
+            }
+            let state = det.port_state();
+            if state != prev {
+                let t = Transition::classify(prev, state);
+                prop_assert!(t.is_some(), "illegal transition {prev} -> {state}");
+                prop_assert_eq!(t.unwrap().endpoints(), (prev, state));
+            }
+            if state.is_undetermined() {
+                prop_assert!(offs > 0, "undetermined with no OFF period ever");
+            }
+            prev = state;
+        }
+    }
+
+    /// The paper-notation symbol of every state round-trips through
+    /// `from_symbol`, and `from_symbol` rejects every other character.
+    #[test]
+    fn state_symbols_round_trip(raw in 0u8..128) {
+        let c = raw as char;
+        for s in [
+            TernaryState::NonCongestion,
+            TernaryState::Congestion,
+            TernaryState::Undetermined,
+        ] {
+            prop_assert_eq!(TernaryState::from_symbol(s.symbol()), Some(s));
+        }
+        match TernaryState::from_symbol(c) {
+            Some(s) => prop_assert_eq!(s.symbol(), c),
+            None => prop_assert!(c != '0' && c != '1' && c != '/'),
+        }
+    }
+
+    /// Table 1's two-bit wire encoding round-trips for every code point,
+    /// and `from_bits` accepts exactly the four two-bit values.
+    #[test]
+    fn codepoint_bits_round_trip(bits in 0u8..=255) {
+        for cp in [
+            CodePoint::NotCapable,
+            CodePoint::Capable,
+            CodePoint::UE,
+            CodePoint::CE,
+        ] {
+            prop_assert_eq!(CodePoint::from_bits(cp.to_bits()), Some(cp));
+        }
+        match CodePoint::from_bits(bits) {
+            Some(cp) => prop_assert_eq!(cp.to_bits(), bits),
+            None => prop_assert!(bits > 3, "all two-bit values decode"),
         }
     }
 

@@ -171,6 +171,12 @@ impl CbfcReceiver {
     pub fn update_period(&self) -> SimDuration {
         self.cfg.update_period
     }
+
+    /// Total receive buffer capacity, in blocks.
+    #[inline]
+    pub fn capacity_blocks(&self) -> u64 {
+        self.cfg.buffer_blocks
+    }
 }
 
 /// Upstream (sender) side of one VL's credit loop.
@@ -233,6 +239,12 @@ impl CbfcSender {
     #[inline]
     pub fn fctbs(&self) -> u64 {
         self.fctbs
+    }
+
+    /// The credit limit currently in force (latest FCCL accepted).
+    #[inline]
+    pub fn fccl_limit(&self) -> u64 {
+        self.fccl
     }
 
     /// Number of recorded credit stalls.

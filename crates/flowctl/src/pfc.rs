@@ -167,6 +167,12 @@ impl PfcIngress {
     pub fn max_buffered(&self) -> u64 {
         self.max_buffered
     }
+
+    /// The thresholds this counter operates under.
+    #[inline]
+    pub fn config(&self) -> PfcConfig {
+        self.cfg
+    }
 }
 
 /// Upstream egress pause state for one (port, priority).

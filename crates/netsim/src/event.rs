@@ -106,6 +106,11 @@ pub struct EventQueue {
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     now: SimTime,
+    /// Causality-violation log: `(requested time, clock at request)` for
+    /// every attempt to schedule into the past. Drained by the auditor at
+    /// checkpoints.
+    #[cfg(feature = "audit")]
+    past_schedules: Vec<(SimTime, SimTime)>,
 }
 
 impl EventQueue {
@@ -115,6 +120,8 @@ impl EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            #[cfg(feature = "audit")]
+            past_schedules: Vec::new(),
         }
     }
 
@@ -125,9 +132,15 @@ impl EventQueue {
     }
 
     /// Schedule `ev` at absolute time `at`. Scheduling in the past is a
-    /// logic error and panics in debug builds; release builds clamp to
+    /// logic error: audited builds log it for the auditor's causality
+    /// check, plain debug builds assert, and release builds clamp to
     /// `now` to stay monotonic.
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
+        #[cfg(feature = "audit")]
+        if at < self.now && self.past_schedules.len() < 64 {
+            self.past_schedules.push((at, self.now));
+        }
+        #[cfg(not(feature = "audit"))]
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -160,6 +173,30 @@ impl EventQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Drain the log of attempts to schedule into the past.
+    #[cfg(feature = "audit")]
+    pub(crate) fn take_past_schedules(&mut self) -> Vec<(SimTime, SimTime)> {
+        std::mem::take(&mut self.past_schedules)
+    }
+
+    /// Number of pending `PacketArrival` events (packets on the wire).
+    #[cfg(feature = "audit")]
+    pub(crate) fn packets_in_flight(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(s)| matches!(s.ev, Event::PacketArrival { .. }))
+            .count()
+    }
+
+    /// Iterate pending packet arrivals as `(receiver, in_port, packet)`.
+    #[cfg(feature = "audit")]
+    pub(crate) fn packet_arrivals(&self) -> impl Iterator<Item = (NodeId, u16, &Packet)> {
+        self.heap.iter().filter_map(|Reverse(s)| match &s.ev {
+            Event::PacketArrival { node, in_port, pkt } => Some((*node, *in_port, &**pkt)),
+            _ => None,
+        })
     }
 }
 
@@ -271,6 +308,19 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn schedules_into_the_past_are_logged_for_the_auditor() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), tx(0, 0));
+        let _ = q.pop(); // clock is now at 10us
+        q.schedule(SimTime::from_us(5), tx(1, 0));
+        let past = q.take_past_schedules();
+        assert_eq!(past, vec![(SimTime::from_us(5), SimTime::from_us(10))]);
+        // The log is drained by the take.
+        assert!(q.take_past_schedules().is_empty());
     }
 
     #[test]

@@ -423,6 +423,7 @@ impl Host {
                 echo,
                 acked_bytes,
             } => {
+                self.account_feedback_rx(ctx, pkt.prio, pkt.size);
                 if ctx.cfg.is_lossy() {
                     self.on_reliable_ack(ctx, pkt.flow, acked_bytes);
                 }
@@ -442,10 +443,24 @@ impl Host {
                 );
             }
             PacketKind::Cnp { code } => {
+                self.account_feedback_rx(ctx, pkt.prio, pkt.size);
                 let flow = pkt.flow;
                 ctx.pool.recycle(pkt);
                 self.deliver_cc_event(ctx, flow, CcEvent::Feedback { code });
             }
+        }
+    }
+
+    /// IB mode: feedback packets occupy this host's receive buffer like any
+    /// other arrival and are freed immediately by NIC-level processing. The
+    /// upstream switch paid CBFC credits to deliver them, so skipping this
+    /// accounting would let its FCTBS drift ahead of our ABR and slowly
+    /// leak credits out of the loop.
+    fn account_feedback_rx(&mut self, ctx: &Ctx<'_>, prio: u8, bytes: u64) {
+        if ctx.cfg.is_ib() {
+            let rx = &mut self.cbfc_rx[prio as usize];
+            rx.on_packet_received(bytes);
+            rx.on_buffer_freed(bytes);
         }
     }
 
@@ -505,6 +520,15 @@ impl Host {
                 self.cbfc_rx[prio].on_packet_received(pkt.size);
                 // freed later, when processed
             } else if let Some(PfcCommand::SendPause) = self.rx_pfc[prio].on_enqueue(pkt.size) {
+                #[cfg(feature = "audit")]
+                ctx.audit.pfc_pause_sent(
+                    ctx.now,
+                    self.id,
+                    0,
+                    pkt.prio,
+                    self.rx_pfc[prio].buffered_bytes(),
+                    self.rx_pfc[prio].config().xoff_bytes,
+                );
                 self.ctrl.push_back(ctx.pool.boxed(Packet::link_local(
                     PacketKind::Pause {
                         prio: pkt.prio,
@@ -627,6 +651,15 @@ impl Host {
         if ctx.cfg.is_ib() {
             self.cbfc_rx[prio].on_buffer_freed(size);
         } else if let Some(PfcCommand::SendResume) = self.rx_pfc[prio].on_dequeue(size) {
+            #[cfg(feature = "audit")]
+            ctx.audit.pfc_resume_sent(
+                ctx.now,
+                self.id,
+                0,
+                prio as u8,
+                self.rx_pfc[prio].buffered_bytes(),
+                self.rx_pfc[prio].config().xon_bytes,
+            );
             self.ctrl.push_back(ctx.pool.boxed(Packet::link_local(
                 PacketKind::Pause {
                     prio: prio as u8,
@@ -672,5 +705,138 @@ impl Host {
                 vl,
             },
         );
+    }
+
+    /// Packets currently buffered in this host (control + feedback queue).
+    /// The slow-receiver queue holds sizes, not packets, so it does not
+    /// contribute to packet conservation.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_queued_packets(&self) -> usize {
+        self.ctrl.len() + self.feedback_q.len()
+    }
+
+    /// Checkpoint: the host's receive-side accounting (CBFC occupancy or
+    /// PFC counters) must match the slow-receiver queue contents, and its
+    /// credit senders must respect the switch's advertised limit.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
+        use crate::audit::{InvariantFamily, Violation};
+        use lossless_flowctl::units::bytes_to_blocks;
+
+        let headroom = a.config().pfc_headroom_bytes;
+        for prio in 0..self.rx_q.len() {
+            if let Some(rx) = self.cbfc_rx.get(prio) {
+                let blocks: u64 = self.rx_q[prio].iter().map(|&s| bytes_to_blocks(s)).sum();
+                let occ = rx.occupied_blocks();
+                if occ != blocks {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!(
+                            "host ingress occupancy {occ} blocks != queued {blocks} blocks"
+                        ),
+                    });
+                }
+                let cap = rx.capacity_blocks();
+                if occ > cap {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!(
+                            "host receive buffer holds {occ} blocks, capacity is {cap}"
+                        ),
+                    });
+                }
+            }
+            if let Some(tx) = self.cbfc_tx.get(prio) {
+                let (fctbs, fccl) = (tx.fctbs(), tx.fccl_limit());
+                if fctbs > fccl {
+                    a.report(Violation {
+                        family: InvariantFamily::ProtocolLegality,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!("FCTBS {fctbs} exceeds the advertised FCCL {fccl}"),
+                    });
+                }
+            }
+            if let Some(pin) = self.rx_pfc.get(prio) {
+                let bytes: u64 = self.rx_q[prio].iter().sum();
+                let b = pin.buffered_bytes();
+                let cfg = pin.config();
+                if b != bytes {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!("host PFC counter {b} != queued bytes {bytes}"),
+                    });
+                }
+                if b > cfg.xoff_bytes.saturating_add(headroom) {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!(
+                            "host PFC counter {b} exceeds X_off {} + headroom {headroom}",
+                            cfg.xoff_bytes
+                        ),
+                    });
+                }
+                if pin.is_pausing_upstream() && b <= cfg.xon_bytes {
+                    a.report(Violation {
+                        family: InvariantFamily::ProtocolLegality,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!(
+                            "PAUSE outstanding while counter {b} <= X_on {}",
+                            cfg.xon_bytes
+                        ),
+                    });
+                }
+                if !pin.is_pausing_upstream() && b > cfg.xoff_bytes {
+                    a.report(Violation {
+                        family: InvariantFamily::ProtocolLegality,
+                        t: now,
+                        node: self.id,
+                        port: 0,
+                        prio: prio as u8,
+                        message: format!(
+                            "no PAUSE outstanding while counter {b} > X_off {}",
+                            cfg.xoff_bytes
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sender-side credit state towards the ToR: `(FCTBS, FCCL)`.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_cbfc_tx(&self, vl: u8) -> Option<(u64, u64)> {
+        self.cbfc_tx
+            .get(vl as usize)
+            .map(|t| (t.fctbs(), t.fccl_limit()))
+    }
+
+    /// Receiver-side credit state: `(ABR, occupied, capacity)`.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_cbfc_rx(&self, vl: u8) -> Option<(u64, u64, u64)> {
+        self.cbfc_rx
+            .get(vl as usize)
+            .map(|r| (r.abr(), r.occupied_blocks(), r.capacity_blocks()))
     }
 }

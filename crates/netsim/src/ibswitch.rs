@@ -276,6 +276,8 @@ impl IbSwitch {
                 p.det[vl as usize].on_timer(ctx.now, q, backpressured);
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_note_state(ctx, port, vl);
         self.sync_det_timer(ctx, port, vl);
     }
 
@@ -311,16 +313,30 @@ impl IbSwitch {
             if p.blocked[vl as usize] && p.tx[vl as usize].available_blocks() > 0 {
                 p.blocked[vl as usize] = false;
                 p.det[vl as usize].on_resume(ctx.now);
+                #[cfg(feature = "audit")]
+                self.audit_note_state(ctx, in_port, vl);
                 self.sync_det_timer(ctx, in_port, vl);
                 self.kick(ctx, in_port);
             }
             ctx.pool.recycle(pkt);
             return;
         }
-        debug_assert!(
-            !pkt.kind.is_link_local(),
-            "PAUSE frame at an InfiniBand switch"
-        );
+        if pkt.kind.is_link_local() {
+            // A PAUSE frame can only reach an InfiniBand switch through a
+            // wiring bug: report it (audited builds), assert (plain debug
+            // builds), and consume the frame instead of mis-forwarding it.
+            #[cfg(feature = "audit")]
+            ctx.audit.misrouted_control_frame(
+                ctx.now,
+                self.id,
+                in_port,
+                "PAUSE at an InfiniBand switch",
+            );
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "PAUSE frame at an InfiniBand switch");
+            ctx.pool.recycle(pkt);
+            return;
+        }
 
         // Buffer at this input; route to a VoQ.
         let vl = pkt.prio as usize;
@@ -372,6 +388,18 @@ impl IbSwitch {
                 }
             }
             let Some(i) = found else {
+                // A positive backlog counter with every VoQ empty means the
+                // accounting diverged: structured violation instead of an
+                // opaque panic.
+                #[cfg(feature = "audit")]
+                ctx.audit.empty_dequeue(
+                    ctx.now,
+                    self.id,
+                    port,
+                    vl as u8,
+                    self.ports[port as usize].out_backlog[vl],
+                );
+                #[cfg(not(feature = "audit"))]
                 debug_assert!(false, "backlog without a VoQ head");
                 continue;
             };
@@ -389,12 +417,28 @@ impl IbSwitch {
                     p.blocked[vl] = true;
                     p.block_epochs[vl] += 1;
                     p.det[vl].on_pause(ctx.now);
+                    #[cfg(feature = "audit")]
+                    self.audit_note_state(ctx, port, vl as u8);
                 }
                 continue; // other VLs may still have credits
             }
 
-            // Dequeue.
-            let mut pkt = self.ports[i].voq[vl][port as usize].pop_front().unwrap();
+            // Dequeue. The VoQ was verified non-empty when `found` was
+            // set; an empty pop here is corrupted accounting, reported as
+            // a structured violation rather than an `unwrap` panic.
+            let Some(mut pkt) = self.ports[i].voq[vl][port as usize].pop_front() else {
+                #[cfg(feature = "audit")]
+                ctx.audit.empty_dequeue(
+                    ctx.now,
+                    self.id,
+                    port,
+                    vl as u8,
+                    self.ports[port as usize].out_backlog[vl],
+                );
+                #[cfg(not(feature = "audit"))]
+                debug_assert!(false, "VoQ emptied between scan and dequeue");
+                continue;
+            };
             self.ports[i].rx[vl].on_buffer_freed(pkt.size);
             let q_incl = self.ports[port as usize].out_backlog[vl];
             {
@@ -419,7 +463,18 @@ impl IbSwitch {
                 if let Some(mark) = decision {
                     pkt.code = pkt.code.apply(mark);
                     ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+                    #[cfg(feature = "audit")]
+                    ctx.audit.note_mark(
+                        ctx.now,
+                        self.id,
+                        port,
+                        vl as u8,
+                        mark,
+                        self.ports[port as usize].det[vl].port_state(),
+                    );
                 }
+                #[cfg(feature = "audit")]
+                self.audit_note_state(ctx, port, vl as u8);
                 self.sync_det_timer(ctx, port, vl as u8);
             }
 
@@ -455,5 +510,130 @@ impl IbSwitch {
             },
         );
         gate.note_scheduled(free);
+    }
+
+    /// Record the detector's current belief for `(port, vl)` with the
+    /// auditor, which validates the transition against Fig. 6.
+    #[cfg(feature = "audit")]
+    fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
+        let p = &self.ports[port as usize];
+        ctx.audit.note_state(
+            ctx.now,
+            self.id,
+            port,
+            vl,
+            p.det[vl as usize].port_state(),
+            p.block_epochs[vl as usize],
+        );
+    }
+
+    /// Packets currently buffered in this switch (control + all VoQs).
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_queued_packets(&self) -> usize {
+        self.ports
+            .iter()
+            .map(|p| {
+                p.ctrl.len()
+                    + p.voq
+                        .iter()
+                        .flat_map(|per_out| per_out.iter())
+                        .map(|q| q.len())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Checkpoint: VoQ contents vs. credit-receiver occupancy, receive
+    /// buffers within capacity, senders within their advertised limit, and
+    /// egress backlog counters vs. the VoQs feeding them.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
+        use crate::audit::{InvariantFamily, Violation};
+        use lossless_flowctl::units::bytes_to_blocks;
+
+        let n_ports = self.ports.len();
+        for (pi, p) in self.ports.iter().enumerate() {
+            for vl in 0..p.rx.len() {
+                // Ingress: the receive buffer is exactly the VoQ contents.
+                let blocks: u64 = p.voq[vl]
+                    .iter()
+                    .flat_map(|q| q.iter())
+                    .map(|k| bytes_to_blocks(k.size))
+                    .sum();
+                let occ = p.rx[vl].occupied_blocks();
+                if occ != blocks {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: pi as u16,
+                        prio: vl as u8,
+                        message: format!(
+                            "ingress occupancy {occ} blocks != VoQ contents {blocks} blocks"
+                        ),
+                    });
+                }
+                let cap = p.rx[vl].capacity_blocks();
+                if occ > cap {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: pi as u16,
+                        prio: vl as u8,
+                        message: format!("receive buffer holds {occ} blocks, capacity is {cap}"),
+                    });
+                }
+                // Egress: a sender must never have consumed past its limit.
+                let fctbs = p.tx[vl].fctbs();
+                let fccl = p.tx[vl].fccl_limit();
+                if fctbs > fccl {
+                    a.report(Violation {
+                        family: InvariantFamily::ProtocolLegality,
+                        t: now,
+                        node: self.id,
+                        port: pi as u16,
+                        prio: vl as u8,
+                        message: format!("FCTBS {fctbs} exceeds the advertised FCCL {fccl}"),
+                    });
+                }
+                // Egress: backlog counter vs. the VoQs that feed it.
+                let fed: u64 = (0..n_ports)
+                    .map(|ip| {
+                        self.ports[ip].voq[vl][pi]
+                            .iter()
+                            .map(|k| k.size)
+                            .sum::<u64>()
+                    })
+                    .sum();
+                if fed != p.out_backlog[vl] {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: pi as u16,
+                        prio: vl as u8,
+                        message: format!(
+                            "egress backlog counter {} != queued bytes {fed}",
+                            p.out_backlog[vl]
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sender-side credit state towards `port`'s peer: `(FCTBS, FCCL)`.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_cbfc_tx(&self, port: u16, vl: u8) -> (u64, u64) {
+        let tx = &self.ports[port as usize].tx[vl as usize];
+        (tx.fctbs(), tx.fccl_limit())
+    }
+
+    /// Receiver-side credit state at `port`: `(ABR, occupied, capacity)`.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_cbfc_rx(&self, port: u16, vl: u8) -> (u64, u64, u64) {
+        let rx = &self.ports[port as usize].rx[vl as usize];
+        (rx.abr(), rx.occupied_blocks(), rx.capacity_blocks())
     }
 }

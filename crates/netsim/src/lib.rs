@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cchooks;
 pub mod config;
 pub mod event;
@@ -38,6 +40,8 @@ pub mod switch;
 pub mod topology;
 pub mod trace;
 
+#[cfg(feature = "audit")]
+pub use audit::{Audit, AuditConfig, AuditMode, InvariantFamily, Violation};
 pub use cchooks::{CcAction, CcEvent, RateController};
 pub use config::{DetectorKind, FeedbackMode, SimConfig};
 pub use packet::{FlowId, Packet, PacketKind};

@@ -232,6 +232,11 @@ pub struct PacketPool {
     // `Box<Packet>`, so recycling must keep each allocation intact.
     #[allow(clippy::vec_box)]
     free: Vec<Box<Packet>>,
+    /// Live packets: boxed and not yet recycled. The auditor's packet
+    /// conservation check compares this against what the event queue and
+    /// the nodes are actually holding.
+    #[cfg(feature = "audit")]
+    outstanding: u64,
 }
 
 impl PacketPool {
@@ -245,8 +250,18 @@ impl PacketPool {
         self.free.len()
     }
 
+    /// Live packets: boxed through this pool and not yet recycled.
+    #[cfg(feature = "audit")]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
     /// Box `pkt`, reusing a recycled allocation when one is available.
     pub fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        #[cfg(feature = "audit")]
+        {
+            self.outstanding += 1;
+        }
         match self.free.pop() {
             Some(mut b) => {
                 let mut spare = std::mem::take(&mut b.int);
@@ -265,6 +280,12 @@ impl PacketPool {
 
     /// Return a consumed packet's allocation for reuse.
     pub fn recycle(&mut self, pkt: Box<Packet>) {
+        // Saturating: tests may recycle boxes that never went through
+        // `boxed`, which must not poison the conservation counter.
+        #[cfg(feature = "audit")]
+        {
+            self.outstanding = self.outstanding.saturating_sub(1);
+        }
         if self.free.len() < MAX_POOLED {
             self.free.push(pkt);
         }

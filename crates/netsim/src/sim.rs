@@ -50,6 +50,10 @@ pub struct Ctx<'a> {
     /// Recycling allocator for packets; handlers box new packets through
     /// it and return consumed ones to it.
     pub pool: &'a mut PacketPool,
+    /// The invariant auditor (audit builds only); handlers feed it state
+    /// transitions, marks, and PFC threshold crossings.
+    #[cfg(feature = "audit")]
+    pub audit: &'a mut crate::audit::Audit,
 }
 
 // Hosts are by far the largest variant, but the node table is tiny (one
@@ -73,6 +77,9 @@ pub struct Simulator {
     pending_cc: Vec<Option<Box<dyn RateController>>>,
     /// Packet allocation pool shared by all nodes.
     pool: PacketPool,
+    /// The invariant auditor (audit builds only).
+    #[cfg(feature = "audit")]
+    audit: crate::audit::Audit,
     /// Collected measurements.
     pub trace: Trace,
 }
@@ -183,8 +190,24 @@ impl Simulator {
             flows: Vec::new(),
             pending_cc: Vec::new(),
             pool: PacketPool::new(),
+            #[cfg(feature = "audit")]
+            audit: crate::audit::Audit::default(),
             trace,
         }
+    }
+
+    /// The invariant auditor (audit builds only).
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> &crate::audit::Audit {
+        &self.audit
+    }
+
+    /// Mutable access to the invariant auditor (audit builds only), e.g.
+    /// to switch it to [`AuditMode::Record`](crate::audit::AuditMode)
+    /// before a run that deliberately provokes violations.
+    #[cfg(feature = "audit")]
+    pub fn audit_mut(&mut self) -> &mut crate::audit::Audit {
+        &mut self.audit
     }
 
     /// Record individual [`MarkEvent`](crate::trace::MarkEvent)s (off by
@@ -297,6 +320,8 @@ impl Simulator {
     fn drive(&mut self, until: SimTime, stop_when_complete: bool) {
         let end = until.min(self.cfg.end_time);
         let total = self.flows.len();
+        #[cfg(feature = "audit")]
+        let checkpoint_every = self.audit.config().checkpoint_every.max(1);
         while !(stop_when_complete && self.trace.completed_count >= total) {
             let Some(t) = self.queue.peek_time() else {
                 break;
@@ -306,7 +331,165 @@ impl Simulator {
             }
             let (now, ev) = self.queue.pop().unwrap();
             self.dispatch(now, ev);
+            // Checkpoints run between dispatches, never as scheduled
+            // events, so event counts and fingerprints are identical with
+            // the auditor on or off.
+            #[cfg(feature = "audit")]
+            if self.trace.events.is_multiple_of(checkpoint_every) {
+                self.audit_checkpoint();
+            }
         }
+        #[cfg(feature = "audit")]
+        self.audit_checkpoint();
+    }
+
+    /// Verify every simulation invariant against the current state: packet
+    /// conservation, per-node buffer accounting, hop-by-hop protocol
+    /// legality (including a global CBFC credit ledger per link), and
+    /// event-queue causality. Runs automatically every
+    /// [`AuditConfig::checkpoint_every`](crate::audit::AuditConfig) events
+    /// and once at the end of each `run*` call; it never schedules events,
+    /// so traces and fingerprints are identical with the auditor on or off.
+    #[cfg(feature = "audit")]
+    pub fn audit_checkpoint(&mut self) {
+        use crate::audit::{InvariantFamily, Violation};
+
+        let now = self.queue.now();
+        let engine = NodeId(u32::MAX);
+
+        // (e) Causality: the queue logs any schedule into the past.
+        for (at, then) in self.queue.take_past_schedules() {
+            self.audit.report(Violation {
+                family: InvariantFamily::Causality,
+                t: then,
+                node: engine,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!("event scheduled at {at}, before the clock ({then})"),
+            });
+        }
+        self.audit.note_check(InvariantFamily::Causality);
+
+        // (a) Packet conservation: every packet the pool handed out is
+        // either on a wire (in-flight event) or queued in some node.
+        let outstanding = self.pool.outstanding();
+        let in_flight = self.queue.packets_in_flight() as u64;
+        let queued: u64 = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let q = match n {
+                    Node::Host(h) => h.audit_queued_packets(),
+                    Node::Eth(s) => s.audit_queued_packets(),
+                    Node::Ib(s) => s.audit_queued_packets(),
+                };
+                q as u64
+            })
+            .sum();
+        if outstanding != in_flight + queued {
+            self.audit.report(Violation {
+                family: InvariantFamily::Conservation,
+                t: now,
+                node: engine,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!(
+                    "packet conservation broken: {outstanding} live != \
+                     {in_flight} in-flight + {queued} queued"
+                ),
+            });
+        }
+        if !self.cfg.is_lossy() && self.trace.drops > 0 {
+            self.audit.report(Violation {
+                family: InvariantFamily::Conservation,
+                t: now,
+                node: engine,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!("lossless mode dropped {} packets", self.trace.drops),
+            });
+        }
+        self.audit.note_check(InvariantFamily::Conservation);
+
+        // (b) Per-node buffer accounting and local protocol state.
+        for node in &self.nodes {
+            match node {
+                Node::Host(h) => h.audit_check(&mut self.audit, now),
+                Node::Eth(s) => s.audit_check(&mut self.audit, now),
+                Node::Ib(s) => s.audit_check(&mut self.audit, now),
+            }
+        }
+        self.audit.note_check(InvariantFamily::BufferAccounting);
+
+        // (c) Global CBFC credit ledger: along every directed link, the
+        // sender's consumed credits equal the receiver's accepted credits
+        // plus the blocks currently on the wire, and the advertised limit
+        // never exceeds what the receive buffer could absorb.
+        if self.cfg.is_ib() {
+            use lossless_flowctl::units::bytes_to_blocks;
+            use std::collections::BTreeMap;
+
+            let mut inflight: BTreeMap<(u32, u16, u8), u64> = BTreeMap::new();
+            for (node, in_port, pkt) in self.queue.packet_arrivals() {
+                if pkt.kind.is_link_local() {
+                    continue; // credit-exempt by construction
+                }
+                *inflight.entry((node.0, in_port, pkt.prio)).or_default() +=
+                    bytes_to_blocks(pkt.size);
+            }
+            for n in 0..self.topo.node_count() as u32 {
+                let id = NodeId(n);
+                for p in 0..self.topo.ports(id).len() as u16 {
+                    let lnk = self.topo.link(id, p);
+                    for vl in 0..self.cfg.num_prios {
+                        let tx = match &self.nodes[id.index()] {
+                            Node::Ib(s) => Some(s.audit_cbfc_tx(p, vl)),
+                            Node::Host(h) => h.audit_cbfc_tx(vl),
+                            Node::Eth(_) => None,
+                        };
+                        let rx = match &self.nodes[lnk.peer.index()] {
+                            Node::Ib(s) => Some(s.audit_cbfc_rx(lnk.peer_port, vl)),
+                            Node::Host(h) => h.audit_cbfc_rx(vl),
+                            Node::Eth(_) => None,
+                        };
+                        let (Some((fctbs, fccl)), Some((abr, _occ, cap))) = (tx, rx) else {
+                            continue;
+                        };
+                        let fly = inflight
+                            .get(&(lnk.peer.0, lnk.peer_port, vl))
+                            .copied()
+                            .unwrap_or(0);
+                        if fctbs != abr + fly {
+                            self.audit.report(Violation {
+                                family: InvariantFamily::ProtocolLegality,
+                                t: now,
+                                node: id,
+                                port: p,
+                                prio: vl,
+                                message: format!(
+                                    "CBFC credits not conserved towards node {} port {}: \
+                                     FCTBS {fctbs} != ABR {abr} + {fly} blocks in flight",
+                                    lnk.peer.0, lnk.peer_port
+                                ),
+                            });
+                        }
+                        if fccl > abr + cap {
+                            self.audit.report(Violation {
+                                family: InvariantFamily::ProtocolLegality,
+                                t: now,
+                                node: id,
+                                port: p,
+                                prio: vl,
+                                message: format!(
+                                    "FCCL {fccl} exceeds ABR {abr} + buffer capacity {cap} blocks"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.audit.note_check(InvariantFamily::ProtocolLegality);
     }
 
     /// Run until the configured end time (or the event queue drains).
@@ -407,6 +590,8 @@ impl Simulator {
                     trace: &mut self.trace,
                     flows: &self.flows,
                     pool: &mut self.pool,
+                    #[cfg(feature = "audit")]
+                    audit: &mut self.audit,
                 }
             };
         }

@@ -213,6 +213,8 @@ impl EthSwitch {
                 p.det[prio as usize].on_timer(ctx.now, q, backpressured);
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_note_state(ctx, port, prio);
         self.sync_det_timer(ctx, port, prio);
     }
 
@@ -231,14 +233,28 @@ impl EthSwitch {
                     self.sync_det_timer(ctx, in_port, prio);
                     self.kick(ctx, in_port);
                 }
+                #[cfg(feature = "audit")]
+                self.audit_note_state(ctx, in_port, prio);
             }
             ctx.pool.recycle(pkt);
             return;
         }
-        debug_assert!(
-            !pkt.kind.is_link_local(),
-            "FCCL frame at an Ethernet switch"
-        );
+        if pkt.kind.is_link_local() {
+            // An FCCL frame can only reach an Ethernet switch through a
+            // wiring bug: report it (audited builds), assert (plain debug
+            // builds), and consume the frame instead of mis-forwarding it.
+            #[cfg(feature = "audit")]
+            ctx.audit.misrouted_control_frame(
+                ctx.now,
+                self.id,
+                in_port,
+                "FCCL at an Ethernet switch",
+            );
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "FCCL frame at an Ethernet switch");
+            ctx.pool.recycle(pkt);
+            return;
+        }
 
         // Forward: enqueue at the routed egress, account the ingress.
         let out = ctx.routing.out_port(self.id, pkt.dst, pkt.flow);
@@ -258,6 +274,18 @@ impl EthSwitch {
         {
             let pin = &mut self.ports[in_port as usize].pfc_in[prio];
             if let Some(PfcCommand::SendPause) = pin.on_enqueue(pkt.size) {
+                #[cfg(feature = "audit")]
+                {
+                    let pin = &self.ports[in_port as usize].pfc_in[prio];
+                    ctx.audit.pfc_pause_sent(
+                        ctx.now,
+                        self.id,
+                        in_port,
+                        prio as u8,
+                        pin.buffered_bytes(),
+                        pin.config().xoff_bytes,
+                    );
+                }
                 self.send_pfc(ctx, in_port, prio as u8, true);
             }
         }
@@ -294,13 +322,25 @@ impl EthSwitch {
             return; // idle; a future enqueue/RESUME will kick us
         };
 
-        let (pkt, q_incl) = {
-            let p = &mut self.ports[port as usize];
-            let pkt = p.q[prio].pop_front().unwrap();
-            let q_incl = p.qbytes[prio];
-            p.qbytes[prio] -= pkt.size;
-            (pkt, q_incl)
+        // The scan above saw a non-empty queue; an empty pop here means the
+        // queue/byte accounting diverged. Surface a structured violation
+        // (audited builds) or assert (plain debug builds) instead of
+        // panicking on `unwrap`, and leave the port idle otherwise.
+        let Some(pkt) = self.ports[port as usize].q[prio].pop_front() else {
+            #[cfg(feature = "audit")]
+            ctx.audit.empty_dequeue(
+                ctx.now,
+                self.id,
+                port,
+                prio as u8,
+                self.ports[port as usize].qbytes[prio],
+            );
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "empty dequeue at port {port} prio {prio}");
+            return;
         };
+        let q_incl = self.ports[port as usize].qbytes[prio];
+        self.ports[port as usize].qbytes[prio] -= pkt.size;
         self.buffered -= pkt.size;
 
         // Ingress accounting: the departing packet frees its ingress share.
@@ -308,6 +348,18 @@ impl EthSwitch {
         {
             let pin = &mut self.ports[in_port as usize].pfc_in[prio];
             if let Some(PfcCommand::SendResume) = pin.on_dequeue(pkt.size) {
+                #[cfg(feature = "audit")]
+                {
+                    let pin = &self.ports[in_port as usize].pfc_in[prio];
+                    ctx.audit.pfc_resume_sent(
+                        ctx.now,
+                        self.id,
+                        in_port,
+                        prio as u8,
+                        pin.buffered_bytes(),
+                        pin.config().xon_bytes,
+                    );
+                }
                 self.send_pfc(ctx, in_port, prio as u8, false);
             }
         }
@@ -328,7 +380,18 @@ impl EthSwitch {
             if let Some(mark) = decision {
                 pkt.code = pkt.code.apply(mark);
                 ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+                #[cfg(feature = "audit")]
+                ctx.audit.note_mark(
+                    ctx.now,
+                    self.id,
+                    port,
+                    prio as u8,
+                    mark,
+                    self.ports[port as usize].det[prio].port_state(),
+                );
             }
+            #[cfg(feature = "audit")]
+            self.audit_note_state(ctx, port, prio as u8);
             self.sync_det_timer(ctx, port, prio as u8);
         }
 
@@ -367,5 +430,133 @@ impl EthSwitch {
             },
         );
         gate.note_scheduled(free);
+    }
+
+    /// Feed the auditor the detector's current state for `(port, prio)`.
+    #[cfg(feature = "audit")]
+    fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
+        let p = &self.ports[port as usize];
+        ctx.audit.note_state(
+            ctx.now,
+            self.id,
+            port,
+            prio,
+            p.det[prio as usize].port_state(),
+            p.pause_epochs[prio as usize],
+        );
+    }
+
+    /// Boxes currently queued in this switch (conservation check).
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_queued_packets(&self) -> usize {
+        self.ports
+            .iter()
+            .map(|p| p.ctrl.len() + p.q.iter().map(|q| q.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Checkpoint checks: per-priority byte counters match the queue
+    /// contents, per-ingress PFC counters sum to the shared-buffer
+    /// occupancy and respect the thresholds, and the pause state is
+    /// consistent with the counters.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
+        use crate::audit::{InvariantFamily, Violation};
+        let headroom = a.config().pfc_headroom_bytes;
+        let lossy = self.drop_tail.is_some();
+        let mut queued_total: u64 = 0;
+        let mut ingress_total: u64 = 0;
+        for (pi, p) in self.ports.iter().enumerate() {
+            for prio in 0..p.q.len() {
+                let actual: u64 = p.q[prio].iter().map(|k| k.size).sum();
+                if actual != p.qbytes[prio] {
+                    a.report(Violation {
+                        family: InvariantFamily::BufferAccounting,
+                        t: now,
+                        node: self.id,
+                        port: pi as u16,
+                        prio: prio as u8,
+                        message: format!(
+                            "egress byte counter {} != queued bytes {actual}",
+                            p.qbytes[prio]
+                        ),
+                    });
+                }
+                queued_total += actual;
+                let pin = &p.pfc_in[prio];
+                let b = pin.buffered_bytes();
+                ingress_total += b;
+                // Lossy mode parks the PFC thresholds at u64::MAX; only
+                // lossless mode makes threshold claims.
+                if !lossy {
+                    let cfg = pin.config();
+                    if b > cfg.xoff_bytes.saturating_add(headroom) {
+                        a.report(Violation {
+                            family: InvariantFamily::BufferAccounting,
+                            t: now,
+                            node: self.id,
+                            port: pi as u16,
+                            prio: prio as u8,
+                            message: format!(
+                                "ingress counter {b} exceeds X_off {} + headroom {headroom}",
+                                cfg.xoff_bytes
+                            ),
+                        });
+                    }
+                    if pin.is_pausing_upstream() && b <= cfg.xon_bytes {
+                        a.report(Violation {
+                            family: InvariantFamily::ProtocolLegality,
+                            t: now,
+                            node: self.id,
+                            port: pi as u16,
+                            prio: prio as u8,
+                            message: format!(
+                                "PAUSE outstanding while counter {b} <= X_on {}",
+                                cfg.xon_bytes
+                            ),
+                        });
+                    }
+                    if !pin.is_pausing_upstream() && b > cfg.xoff_bytes {
+                        a.report(Violation {
+                            family: InvariantFamily::ProtocolLegality,
+                            t: now,
+                            node: self.id,
+                            port: pi as u16,
+                            prio: prio as u8,
+                            message: format!(
+                                "no PAUSE outstanding while counter {b} > X_off {}",
+                                cfg.xoff_bytes
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if queued_total != self.buffered {
+            a.report(Violation {
+                family: InvariantFamily::BufferAccounting,
+                t: now,
+                node: self.id,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!(
+                    "shared-buffer counter {} != queued bytes {queued_total}",
+                    self.buffered
+                ),
+            });
+        }
+        if ingress_total != self.buffered {
+            a.report(Violation {
+                family: InvariantFamily::BufferAccounting,
+                t: now,
+                node: self.id,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!(
+                    "per-ingress PFC counters sum to {ingress_total} but occupancy is {}",
+                    self.buffered
+                ),
+            });
+        }
     }
 }

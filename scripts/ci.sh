@@ -10,8 +10,17 @@ cargo build --release
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 
+echo "=== cargo test --workspace --features audit -q ==="
+cargo test --workspace --features audit -q
+
+echo "=== golden fingerprints ==="
+cargo test --test golden_traces -q
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo clippy --features audit -- -D warnings ==="
+cargo clippy --workspace --all-targets --features audit -- -D warnings
 
 echo "=== cargo fmt --check ==="
 cargo fmt --check

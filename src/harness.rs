@@ -333,6 +333,90 @@ pub fn outcome_of(sim: &Simulator, metrics: Vec<(String, f64)>) -> RunOutcome {
     }
 }
 
+/// Render a finished run as its canonical golden-trace text: the
+/// fingerprint and aggregate counters, every flow's lifecycle record, and
+/// the per-port state timeline (one line per port sample, in the paper's
+/// `0`/`1`/`/` notation). The format is line-oriented and fully
+/// deterministic so committed goldens can be diffed meaningfully — see
+/// [`golden_diff`]. Times are raw picoseconds.
+pub fn golden_trace(sim: &Simulator, label: &str) -> String {
+    let t = &sim.trace;
+    let mut s = String::new();
+    s.push_str(&format!("# golden trace: {label}\n"));
+    s.push_str(&format!("fingerprint {:016x}\n", fingerprint_sim(sim)));
+    s.push_str(&format!("events {}\n", t.events));
+    s.push_str(&format!("forwarded {}\n", t.forwarded_pkts));
+    s.push_str(&format!("pauses {}\n", t.pause_frames));
+    s.push_str(&format!("drops {}\n", t.drops));
+    s.push_str(&format!(
+        "completed {}/{}\n",
+        t.completed_count,
+        t.flows.len()
+    ));
+    for r in &t.flows {
+        s.push_str(&format!(
+            "flow {} size={} start={} end={} pkts={} bytes={} ce={} ue={}\n",
+            r.flow.0,
+            r.size,
+            r.start.as_ps(),
+            r.end.map(|e| e.as_ps() as i64).unwrap_or(-1),
+            r.delivered.pkts,
+            r.delivered.bytes,
+            r.delivered.ce,
+            r.delivered.ue,
+        ));
+    }
+    for p in &t.port_samples {
+        s.push_str(&format!(
+            "port n{}p{}v{} t={} q={} tx={} state={} paused={}\n",
+            p.node.0,
+            p.port,
+            p.prio,
+            p.t.as_ps(),
+            p.queue_bytes,
+            p.tx_bytes,
+            p.state.symbol(),
+            u8::from(p.paused),
+        ));
+    }
+    s
+}
+
+/// Compare an actual golden trace against the committed one. `None` when
+/// identical; otherwise a readable report pinpointing the first diverging
+/// line (the first event/sample where the runs part ways) with a few
+/// lines of surrounding context from both sides.
+pub fn golden_diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let n = exp.len().min(act.len());
+    let first = (0..n).find(|&i| exp[i] != act[i]).unwrap_or(n);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "golden trace diverges at line {} ({} expected lines, {} actual)\n",
+        first + 1,
+        exp.len(),
+        act.len(),
+    ));
+    let from = first.saturating_sub(3);
+    for line in &exp[from..first] {
+        out.push_str(&format!("        {line}\n"));
+    }
+    match (exp.get(first), act.get(first)) {
+        (Some(e), Some(a)) => {
+            out.push_str(&format!("expected {e}\n"));
+            out.push_str(&format!("actual   {a}\n"));
+        }
+        (Some(e), None) => out.push_str(&format!("expected {e}\nactual   <end of trace>\n")),
+        (None, Some(a)) => out.push_str(&format!("expected <end of trace>\nactual   {a}\n")),
+        (None, None) => {}
+    }
+    Some(out)
+}
+
 /// Incremental FNV-1a (64-bit).
 struct Fnv {
     h: u64,
@@ -438,6 +522,28 @@ mod tests {
         let rep = toy_sweep(3).run(2);
         assert_eq!(rep.results[2].outcome.metric("seed"), Some(2.0));
         assert_eq!(rep.results[2].outcome.metric("missing"), None);
+    }
+
+    #[test]
+    fn golden_diff_is_none_for_identical_traces() {
+        let t = "# golden trace: x\nfingerprint 00\nevents 1\n";
+        assert_eq!(golden_diff(t, t), None);
+    }
+
+    #[test]
+    fn golden_diff_pinpoints_the_first_diverging_line() {
+        let exp = "a\nb\nc\nd\n";
+        let act = "a\nb\nX\nd\n";
+        let d = golden_diff(exp, act).expect("must differ");
+        assert!(d.contains("line 3"), "{d}");
+        assert!(d.contains("expected c"), "{d}");
+        assert!(d.contains("actual   X"), "{d}");
+    }
+
+    #[test]
+    fn golden_diff_reports_truncation() {
+        let d = golden_diff("a\nb\n", "a\n").expect("must differ");
+        assert!(d.contains("<end of trace>"), "{d}");
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Golden-trace conformance suite: key paper scenarios, run small-scale,
+//! rendered to a canonical text form ([`harness::golden_trace`]) and
+//! compared against committed goldens in `tests/golden/`. Any engine
+//! change that alters observable behaviour fails here with the first
+//! diverging event/sample line; deliberate changes are re-blessed with
+//!
+//! ```sh
+//! TCD_REGEN_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! A second test replays the same scenarios through the parallel sweep
+//! harness and cross-checks the committed fingerprints, so the goldens
+//! also pin the harness's determinism guarantee.
+
+use std::path::PathBuf;
+
+use lossless_flowctl::{SimDuration, SimTime};
+use lossless_netsim::Simulator;
+use tcd_repro::harness::{self, golden_diff, golden_trace, Sweep};
+use tcd_repro::scenarios::{observation, victim, workload, Cc, CcAlgo, Network};
+
+fn cee_single_cp() -> Simulator {
+    observation::run(observation::Options {
+        network: Network::Cee,
+        multi_cp: false,
+        use_tcd: true,
+        end: SimTime::from_ms(3),
+        sample_every: SimDuration::from_us(50),
+    })
+    .sim
+}
+
+fn cee_multi_cp() -> Simulator {
+    observation::run(observation::Options {
+        network: Network::Cee,
+        multi_cp: true,
+        use_tcd: true,
+        end: SimTime::from_ms(3),
+        sample_every: SimDuration::from_us(50),
+    })
+    .sim
+}
+
+fn ib_single_cp() -> Simulator {
+    observation::run(observation::Options {
+        network: Network::Ib,
+        multi_cp: false,
+        use_tcd: true,
+        end: SimTime::from_ms(3),
+        sample_every: SimDuration::from_us(50),
+    })
+    .sim
+}
+
+fn incast_victim() -> Simulator {
+    victim::run(victim::Options {
+        network: Network::Cee,
+        use_tcd: true,
+        end: SimTime::from_ms(10),
+        ..Default::default()
+    })
+    .sim
+}
+
+fn fat_tree_k4() -> Simulator {
+    workload::run(workload::Options {
+        network: Network::Cee,
+        cc: Cc {
+            algo: CcAlgo::Dcqcn,
+            tcd: true,
+        },
+        use_tcd: true,
+        k: 4,
+        workload: workload::Workload::Hadoop,
+        load: 0.3,
+        flows: 200,
+        incast_fraction: 0.1,
+        incast_fanin: 4,
+        seed: 7,
+        deadline: SimTime::from_ms(20),
+    })
+    .sim
+}
+
+/// A named scenario builder, as committed in golden-file order.
+type Scenario = (&'static str, fn() -> Simulator);
+
+/// The committed conformance scenarios, in golden-file order.
+const SCENARIOS: [Scenario; 5] = [
+    ("cee-single-cp", cee_single_cp),
+    ("cee-multi-cp", cee_multi_cp),
+    ("ib-single-cp", ib_single_cp),
+    ("incast-victim", incast_victim),
+    ("fat-tree-k4", fat_tree_k4),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn regen_requested() -> bool {
+    std::env::var("TCD_REGEN_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn golden_traces_match_committed() {
+    let regen = regen_requested();
+    for (name, build) in SCENARIOS {
+        let sim = build();
+        let actual = golden_trace(&sim, name);
+        let path = golden_dir().join(format!("{name}.txt"));
+        if regen {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {}: {e}\nregenerate with TCD_REGEN_GOLDEN=1",
+                path.display()
+            )
+        });
+        if let Some(diff) = golden_diff(&expected, &actual) {
+            panic!(
+                "scenario `{name}` diverged from its committed golden trace\n{diff}\
+                 if this change is intended, re-bless with TCD_REGEN_GOLDEN=1"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_reproduces_golden_fingerprints() {
+    if regen_requested() {
+        return; // goldens are being rewritten; nothing to check against
+    }
+    let mut sweep = Sweep::new();
+    for (name, build) in SCENARIOS {
+        sweep.add(name, move || harness::outcome_of(&build(), Vec::new()));
+    }
+    let rep = sweep.run(2);
+    for r in &rep.results {
+        let path = golden_dir().join(format!("{}.txt", r.id));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {}: {e}\nregenerate with TCD_REGEN_GOLDEN=1",
+                path.display()
+            )
+        });
+        let want = text
+            .lines()
+            .find_map(|l| l.strip_prefix("fingerprint "))
+            .expect("golden trace carries a fingerprint line");
+        assert_eq!(
+            format!("{:016x}", r.outcome.fingerprint),
+            want,
+            "sweep run `{}` does not reproduce its committed fingerprint",
+            r.id
+        );
+    }
+}

@@ -165,6 +165,67 @@ fn pauses_spread_upstream_through_the_chain() {
 }
 
 #[test]
+fn pause_storm_dissolves_into_a_classified_tree() {
+    // The congestion-tree pathology end-to-end: the burst incast congests
+    // P3 (the root/culprit), the PFC storm spreads up the chain turning
+    // P2..P0 into pause-affected victims, and once the bursts drain the
+    // storm must dissolve — no drops ever, no pause deadlock, victims
+    // resolving `/` -> `0`, and the culprit having stood in `1`.
+    let r = run(short(Network::Cee, false, true, 6));
+    let t = &r.sim.trace;
+    let prio = r.sim.config().data_prio;
+
+    // Losslessness: a pause storm must never cost a byte.
+    assert_eq!(t.drops, 0, "lossless fabric dropped packets");
+    assert!(t.pause_frames > 0, "the scenario must actually storm");
+
+    let samples_of = |(node, port): (tcd_repro::netsim::topology::NodeId, u16)| {
+        t.port_samples
+            .iter()
+            .filter(|s| s.node == node && s.port == port && s.prio == prio)
+            .collect::<Vec<_>>()
+    };
+
+    // Victim chain ports: pause-affected during the storm, `/` while the
+    // OFF periods make their state unknowable, back to `0` at the end.
+    for (label, p) in [("P1", r.fig.p1), ("P2", r.fig.p2)] {
+        let samples = samples_of(p);
+        assert!(
+            samples.iter().any(|s| s.paused),
+            "{label} must be paused at some point during the storm"
+        );
+        assert!(
+            samples.iter().any(|s| s.state.is_undetermined()),
+            "{label} must pass through undetermined"
+        );
+        assert_eq!(
+            samples.last().expect("sampled").state,
+            TernaryState::NonCongestion,
+            "{label} must resolve to 0 after the storm"
+        );
+    }
+
+    // The culprit port at the tree root is genuinely congested.
+    let p3 = samples_of(r.fig.p3);
+    assert!(
+        p3.iter().any(|s| s.state == TernaryState::Congestion),
+        "P3 (the root) must stand in 1 during the storm"
+    );
+
+    // No pause deadlock: the storm is over well before the horizon — in
+    // the final stretch of the run nothing is paused any more and the
+    // sampled queues have drained.
+    let horizon = t.port_samples.last().expect("samples").t;
+    let tail_from = SimTime::from_ps(horizon.as_ps().saturating_sub(SimTime::from_ms(1).as_ps()));
+    let tail: Vec<_> = t.port_samples.iter().filter(|s| s.t >= tail_from).collect();
+    assert!(!tail.is_empty(), "the tail window must contain samples");
+    assert!(
+        tail.iter().all(|s| !s.paused),
+        "pause deadlock: ports still paused at the end of the run"
+    );
+}
+
+#[test]
 fn lossless_delivery_in_all_observation_scenarios() {
     // The defining property of the network: nothing is ever dropped.
     for network in [Network::Cee, Network::Ib] {
