@@ -8,6 +8,8 @@
 //! (figs. 14/15/16/18/19) fan their independent runs out on the
 //! deterministic parallel [`harness`].
 
+#![forbid(unsafe_code)]
+
 pub use tcd_repro::harness;
 pub use tcd_repro::report;
 pub use tcd_repro::scenarios;

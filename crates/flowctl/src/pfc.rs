@@ -16,6 +16,28 @@
 //! The switch model wires the commands to actual control frames on the
 //! reverse link.
 
+use crate::time::SimDuration;
+use crate::units::{Rate, CTRL_FRAME_BYTES};
+
+/// Worst-case bytes that keep arriving at an ingress *after* its counter
+/// crosses `X_off` — the headroom that must exist above the threshold for
+/// PFC to be genuinely lossless (802.1Qbb Annex N sizing):
+///
+/// * one full round trip of in-flight data, `2 · rate · delay` (the PAUSE
+///   travels upstream for `delay` while data keeps arriving, and data
+///   already on the wire takes another `delay` to drain);
+/// * one MTU that may have just started serializing when the PAUSE arrived
+///   and cannot be preempted, plus one MTU of threshold-crossing slop;
+/// * the PAUSE control frame's own serialization slot.
+///
+/// A provisioned headroom below this value is a guaranteed-drop
+/// configuration under worst-case burst timing — exactly what the runtime
+/// auditor's losslessness check would eventually trip on, detected here
+/// statically.
+pub fn required_headroom_bytes(rate: Rate, delay: SimDuration, mtu: u64) -> u64 {
+    2 * rate.bytes_in(delay) + 2 * mtu + CTRL_FRAME_BYTES
+}
+
 /// PFC thresholds for one (ingress port, priority) counter, in bytes.
 ///
 /// The recommended `X_off − X_on` gap is 2 MTU (paper §4.3, following the
@@ -280,6 +302,20 @@ mod tests {
     #[should_panic]
     fn invalid_config_rejected() {
         let _ = PfcConfig::new(100, 100);
+    }
+
+    #[test]
+    fn headroom_formula_matches_hand_computation() {
+        use crate::units::MTU_BYTES;
+        use crate::Rate;
+        use crate::SimDuration;
+        // 40 Gbps, 4 µs one-way delay: one RTT in flight is 2·20 000 B,
+        // plus 2 MTU and the 64 B control frame slot.
+        let need = required_headroom_bytes(Rate::from_gbps(40), SimDuration::from_us(4), MTU_BYTES);
+        assert_eq!(need, 2 * 20_000 + 2 * 1000 + 64);
+        // The paper's simulation setting fits comfortably in the 96 KiB the
+        // audit layer provisions per ingress counter.
+        assert!(need <= 96 * 1024);
     }
 
     #[test]

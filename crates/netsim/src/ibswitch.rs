@@ -61,16 +61,19 @@ pub struct IbPort {
 
 impl IbPort {
     /// Output backlog in bytes for `vl` (the IB "output queue length").
+    // simlint: allow(hot-path-panic) -- vl < num_vls is validated at config build; out_backlog is sized num_vls at construction
     pub fn queue_bytes(&self, vl: u8) -> u64 {
         self.out_backlog[vl as usize]
     }
 
     /// Whether this egress is currently credit-blocked for `vl`.
+    // simlint: allow(hot-path-panic) -- vl < num_vls is validated at config build; blocked is sized num_vls at construction
     pub fn is_blocked(&self, vl: u8) -> bool {
         self.blocked[vl as usize]
     }
 
     /// The detector's current belief for `vl`.
+    // simlint: allow(hot-path-panic) -- vl < num_vls is validated at config build; det is sized num_vls at construction
     pub fn port_state(&self, vl: u8) -> TernaryState {
         self.det[vl as usize].port_state()
     }
@@ -83,6 +86,7 @@ impl IbPort {
     /// Whether this port's ingress is currently credit-constraining its
     /// upstream for `vl`: the free space is below what a sender at
     /// `line_rate` would need per credit-update period.
+    // simlint: allow(hot-path-panic) -- vl < num_vls is validated at config build; rx is sized num_vls at construction
     pub fn is_constraining_upstream(&self, vl: u8, line_rate: lossless_flowctl::Rate) -> bool {
         let rx = &self.rx[vl as usize];
         let line_blocks =
@@ -153,6 +157,7 @@ impl IbSwitch {
     /// feedback VL always first; the data VLs in strict index order
     /// (default) or weighted round-robin (per-VL byte quanta proportional
     /// to their weights, refilled when all eligible quanta are exhausted).
+    // simlint: allow(hot-path-panic) -- port echoes back from this switch's events; VL indices scan 0..nvl; weights length asserted == num_vls in new()
     fn vl_order(&mut self, port: u16, mtu: u64) -> Vec<usize> {
         let nvl = self.ports[port as usize].out_backlog.len();
         let fb = self.feedback_vl as usize;
@@ -195,6 +200,7 @@ impl IbSwitch {
     }
 
     /// Charge a WRR transmission to `vl`'s quantum and advance the pointer.
+    // simlint: allow(hot-path-panic) -- vl comes from vl_order, which only yields indices in 0..num_vls
     fn wrr_charge(&mut self, port: u16, vl: usize, bytes: u64) {
         if self.vl_weights.is_none() || vl == self.feedback_vl as usize {
             return;
@@ -210,10 +216,12 @@ impl IbSwitch {
     }
 
     /// Access a port (for traces and tests).
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     pub fn port(&self, p: u16) -> &IbPort {
         &self.ports[p as usize]
     }
 
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
@@ -228,6 +236,7 @@ impl IbSwitch {
         }
     }
 
+    // simlint: allow(hot-path-panic) -- (port, vl) pairs originate from this switch's own event scheduling; vecs sized at construction
     fn sync_det_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &mut self.ports[port as usize];
         let want = p.det[vl as usize].timer_deadline();
@@ -248,6 +257,7 @@ impl IbSwitch {
     }
 
     /// A detector trend timer fired.
+    // simlint: allow(hot-path-panic) -- (port, vl) echo back from events this switch scheduled; vecs sized at construction
     pub fn on_detector_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         // Back-pressure signal: some input holding traffic for this egress
         // is credit-constrained by us. Under CBFC an input in steady state
@@ -283,6 +293,7 @@ impl IbSwitch {
 
     /// Periodic credit update for `(port, vl)`: advertise the input
     /// buffer's FCCL upstream and reschedule.
+    // simlint: allow(hot-path-panic) -- (port, vl) echo back from FcclTick events this switch scheduled; vecs sized at construction
     pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &mut self.ports[port as usize];
         let fccl = p.rx[vl as usize].fccl();
@@ -305,6 +316,7 @@ impl IbSwitch {
     }
 
     /// A packet finished arriving through `in_port`.
+    // simlint: allow(hot-path-panic) -- in_port/out come from the topology and routing table, both sized with the ports vec; vl validated at config build; the one unwrap reads back the element push_back just appended
     pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Box<Packet>) {
         if let PacketKind::Fccl { vl, fccl } = pkt.kind {
             // Fresh credits for our egress on this link.
@@ -357,6 +369,7 @@ impl IbSwitch {
     }
 
     /// The egress transmitter of `port` is (possibly) free.
+    // simlint: allow(hot-path-panic) -- port echoes back from this switch's events; VL/input indices come from vl_order and 0..n_ports scans; head unwraps follow an is_empty check on the same VoQ with no intervening mutation
     pub fn port_tx(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         if !self.ports[port as usize].gate.on_event(ctx.now) {
             return;
@@ -489,6 +502,7 @@ impl IbSwitch {
         // Nothing sendable: idle until a kick (enqueue or FCCL arrival).
     }
 
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
         let ser = link.rate.serialize_time(pkt.size);
@@ -514,6 +528,7 @@ impl IbSwitch {
 
     /// Record the detector's current belief for `(port, vl)` with the
     /// auditor, which validates the transition against Fig. 6.
+    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) validated by the callers' invariants above
     #[cfg(feature = "audit")]
     fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &self.ports[port as usize];
@@ -546,6 +561,7 @@ impl IbSwitch {
     /// Checkpoint: VoQ contents vs. credit-receiver occupancy, receive
     /// buffers within capacity, senders within their advertised limit, and
     /// egress backlog counters vs. the VoQs feeding them.
+    // simlint: allow(hot-path-panic) -- audit-only path; VL and port indices scan the vec lengths themselves
     #[cfg(feature = "audit")]
     pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
         use crate::audit::{InvariantFamily, Violation};
@@ -624,6 +640,7 @@ impl IbSwitch {
     }
 
     /// Sender-side credit state towards `port`'s peer: `(FCTBS, FCCL)`.
+    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) come from the auditor's iteration over this switch's own dimensions
     #[cfg(feature = "audit")]
     pub(crate) fn audit_cbfc_tx(&self, port: u16, vl: u8) -> (u64, u64) {
         let tx = &self.ports[port as usize].tx[vl as usize];
@@ -631,6 +648,7 @@ impl IbSwitch {
     }
 
     /// Receiver-side credit state at `port`: `(ABR, occupied, capacity)`.
+    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) come from the auditor's iteration over this switch's own dimensions
     #[cfg(feature = "audit")]
     pub(crate) fn audit_cbfc_rx(&self, port: u16, vl: u8) -> (u64, u64, u64) {
         let rx = &self.ports[port as usize].rx[vl as usize];

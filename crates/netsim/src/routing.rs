@@ -13,7 +13,13 @@
 
 use crate::packet::FlowId;
 use crate::topology::{NodeId, Topology};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A directed channel: the egress buffer of `(node, port)`, feeding the
+/// link towards `topo.link(node, port).peer`. The unit of hop-by-hop
+/// back-pressure, and therefore the node set of the buffer-dependency
+/// graph used for static PFC-deadlock analysis.
+pub type Channel = (NodeId, u16);
 
 /// Path selection discipline among equal-cost candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +157,36 @@ impl Routing {
     pub fn select(&self) -> RouteSelect {
         self.select
     }
+
+    /// The directed buffer-dependency relation induced by these tables
+    /// (DCFIT's channel-dependency graph): channel `a = (u, p)` depends on
+    /// channel `b = (v, q)` when `p` delivers into node `v` and, for some
+    /// destination, both `p` at `u` and `q` at `v` are candidate next hops.
+    /// Under a lossless flow control, back-pressure on `b` can then
+    /// propagate to `a`; a cycle in this relation is a potential PFC/CBFC
+    /// deadlock. The union over *all* candidate ports (not the concrete
+    /// ECMP/D-mod-k choice) makes the analysis conservative: any selectable
+    /// path is considered.
+    pub fn channel_dependencies(&self, topo: &Topology) -> BTreeSet<(Channel, Channel)> {
+        let mut deps = BTreeSet::new();
+        let n_dsts = topo.hosts().len();
+        for di in 0..n_dsts {
+            for u in 0..topo.node_count() {
+                let cands = &self.table[u][di];
+                if cands.is_empty() {
+                    continue;
+                }
+                let node = NodeId(u as u32);
+                for &p in cands {
+                    let v = topo.link(node, p).peer;
+                    for &q in &self.table[v.index()][di] {
+                        deps.insert(((node, p), (v, q)));
+                    }
+                }
+            }
+        }
+        deps
+    }
 }
 
 /// Validate that every host can reach every other host (used by builders in
@@ -242,7 +278,7 @@ mod tests {
         let p1 = rt.path(&ft.topo, src, dst, FlowId(1));
         assert_eq!(p1, rt.path(&ft.topo, src, dst, FlowId(1)), "deterministic");
         // Many flows should use more than one distinct path.
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for f in 0..64u32 {
             distinct.insert(rt.path(&ft.topo, src, dst, FlowId(f)));
         }
@@ -266,7 +302,7 @@ mod tests {
         let rt = Routing::new(&ft.topo, RouteSelect::DModK);
         let src = ft.hosts[0];
         // Destinations in a remote pod should spread over upward ports.
-        let mut first_hops = std::collections::HashSet::new();
+        let mut first_hops = std::collections::BTreeSet::new();
         for &dst in ft.hosts.iter().skip(8) {
             let edge_port = rt.path(&ft.topo, src, dst, FlowId(0))[1].1;
             first_hops.insert(edge_port);
@@ -297,6 +333,34 @@ mod tests {
         let topo = b.build();
         let rt = Routing::new(&topo, RouteSelect::Ecmp);
         let _ = rt.out_port(h1, h2, FlowId(0));
+    }
+
+    #[test]
+    fn channel_dependencies_are_link_adjacent_and_acyclic_on_trees() {
+        let db = dumbbell(r(), d());
+        let rt = Routing::new(&db.topo, RouteSelect::Ecmp);
+        let deps = rt.channel_dependencies(&db.topo);
+        assert!(!deps.is_empty());
+        // Every dependency follows a physical link: the first channel's
+        // link must terminate at the second channel's node.
+        for &((u, p), (v, _q)) in &deps {
+            assert_eq!(db.topo.link(u, p).peer, v);
+        }
+        // A dumbbell is a tree: no channel can transitively depend on
+        // itself. Check via DFS from every channel.
+        let chans: std::collections::BTreeSet<_> = deps.iter().map(|&(a, _)| a).collect();
+        for &start in &chans {
+            let mut stack = vec![start];
+            let mut seen = std::collections::BTreeSet::new();
+            while let Some(c) = stack.pop() {
+                for &(a, b) in &deps {
+                    if a == c && seen.insert(b) {
+                        assert_ne!(b, start, "cycle through {start:?}");
+                        stack.push(b);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

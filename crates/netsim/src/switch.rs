@@ -53,16 +53,19 @@ pub struct EthPort {
 
 impl EthPort {
     /// Egress queue length in bytes for `prio`.
+    // simlint: allow(hot-path-panic) -- prio < num_prios is validated at config build; qbytes is sized num_prios at construction
     pub fn queue_bytes(&self, prio: u8) -> u64 {
         self.qbytes[prio as usize]
     }
 
     /// Whether this egress is paused for `prio`.
+    // simlint: allow(hot-path-panic) -- prio < num_prios is validated at config build; paused is sized num_prios at construction
     pub fn is_paused(&self, prio: u8) -> bool {
         self.paused[prio as usize].is_paused()
     }
 
     /// The detector's current belief for `prio`.
+    // simlint: allow(hot-path-panic) -- prio < num_prios is validated at config build; det is sized num_prios at construction
     pub fn port_state(&self, prio: u8) -> TernaryState {
         self.det[prio as usize].port_state()
     }
@@ -74,6 +77,7 @@ impl EthPort {
 
     /// Whether this port's ingress accounting currently has an outstanding
     /// PAUSE towards its upstream neighbour for `prio`.
+    // simlint: allow(hot-path-panic) -- prio < num_prios is validated at config build; pfc_in is sized num_prios at construction
     pub fn is_pausing_upstream(&self, prio: u8) -> bool {
         self.pfc_in[prio as usize].is_pausing_upstream()
     }
@@ -141,10 +145,12 @@ impl EthSwitch {
     }
 
     /// Access a port (for traces and tests).
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     pub fn port(&self, p: u16) -> &EthPort {
         &self.ports[p as usize]
     }
 
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
@@ -161,6 +167,7 @@ impl EthSwitch {
 
     /// Push a PAUSE/RESUME frame out through `port` (towards the upstream
     /// node that is over/under-filling us).
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn send_pfc(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8, pause: bool) {
         let frame = ctx.pool.boxed(Packet::link_local(
             PacketKind::Pause { prio, pause },
@@ -173,6 +180,7 @@ impl EthSwitch {
     }
 
     /// Re-sync the detector timer for `(port, prio)` with the engine.
+    // simlint: allow(hot-path-panic) -- (port, prio) pairs originate from this switch's own event scheduling; vecs sized at construction
     fn sync_det_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
         let p = &mut self.ports[port as usize];
         let want = p.det[prio as usize].timer_deadline();
@@ -193,6 +201,7 @@ impl EthSwitch {
     }
 
     /// A detector trend timer fired.
+    // simlint: allow(hot-path-panic) -- (port, prio) echo back from events this switch scheduled; vecs sized at construction
     pub fn on_detector_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
         // Back-pressure signal: is this switch currently pausing any
         // upstream on this priority? (Shared-buffer accounting cannot
@@ -219,6 +228,7 @@ impl EthSwitch {
     }
 
     /// A packet finished arriving through `in_port`.
+    // simlint: allow(hot-path-panic) -- in_port/out come from the topology and routing table, both sized with the ports vec; prio validated at config build
     pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, mut pkt: Box<Packet>) {
         if let PacketKind::Pause { prio, pause } = pkt.kind {
             // PAUSE from the downstream node on this link: gate our egress.
@@ -297,6 +307,7 @@ impl EthSwitch {
     }
 
     /// The egress transmitter of `port` is (possibly) free.
+    // simlint: allow(hot-path-panic) -- port echoes back from events this switch scheduled; prio indices scan 0..q.len(); empty-pop is handled via let-else, not unwrap
     pub fn port_tx(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         if !self.ports[port as usize].gate.on_event(ctx.now) {
             return;
@@ -409,6 +420,7 @@ impl EthSwitch {
         self.transmit(ctx, port, pkt);
     }
 
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
         let ser = link.rate.serialize_time(pkt.size);
@@ -433,6 +445,7 @@ impl EthSwitch {
     }
 
     /// Feed the auditor the detector's current state for `(port, prio)`.
+    // simlint: allow(hot-path-panic) -- audit-only path; (port, prio) validated by the callers' invariants above
     #[cfg(feature = "audit")]
     fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
         let p = &self.ports[port as usize];
@@ -459,6 +472,7 @@ impl EthSwitch {
     /// contents, per-ingress PFC counters sum to the shared-buffer
     /// occupancy and respect the thresholds, and the pause state is
     /// consistent with the counters.
+    // simlint: allow(hot-path-panic) -- audit-only path; prio indices scan 0..q.len()
     #[cfg(feature = "audit")]
     pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
         use crate::audit::{InvariantFamily, Violation};

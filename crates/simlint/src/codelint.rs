@@ -1,0 +1,626 @@
+//! Level 1: token-level workspace lint.
+//!
+//! Enforces project rules that clippy cannot express:
+//!
+//! - `hash-collections`: no `HashMap`/`HashSet` in simulation-state code —
+//!   iteration order feeds event scheduling, so BTree collections are
+//!   required for deterministic, bit-identical runs.
+//! - `wall-clock`: no `Instant`/`SystemTime` outside the parallel harness
+//!   and bench code; simulation logic must consume virtual time only.
+//! - `thread-spawn`: no `thread::spawn`/`thread::scope` outside the harness;
+//!   all parallelism goes through the deterministic work queue.
+//! - `hot-path-panic`: no `.unwrap()`, `.expect()` or slice indexing in the
+//!   designated hot-path modules (`switch.rs`, `ibswitch.rs`, `event.rs`)
+//!   without an inline justification.
+//! - `forbid-unsafe`: every non-vendored crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! - `bad-allow`: malformed or unknown `// simlint: allow(...)` directives.
+//!
+//! Suppression syntax (reason is mandatory):
+//!
+//! ```text
+//! // simlint: allow(rule) -- reason
+//! ```
+//!
+//! Placed at the end of a code line it covers that line; on its own line it
+//! covers the next code line, or — when that line starts a `fn` item — the
+//! whole function body, mirroring the scoping of Rust's `#[allow]`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// Lint rules, in stable report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashCollections,
+    WallClock,
+    ThreadSpawn,
+    HotPathPanic,
+    ForbidUnsafe,
+    BadAllow,
+}
+
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::HashCollections,
+    Rule::WallClock,
+    Rule::ThreadSpawn,
+    Rule::HotPathPanic,
+    Rule::ForbidUnsafe,
+    Rule::BadAllow,
+];
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One structured finding, rendered as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// How the lint treats a file, derived purely from its workspace-relative
+/// path (always with `/` separators).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Vendored dependency stubs, lint fixtures, build output: not ours.
+    pub skip: bool,
+    /// Simulation-state code: BTree collections required.
+    pub state_code: bool,
+    /// May read wall-clock time (harness + bench).
+    pub wall_clock_ok: bool,
+    /// May spawn OS threads (harness only).
+    pub threads_ok: bool,
+    /// Hot-path module: panics need inline justification.
+    pub hot_path: bool,
+    /// Crate root that must carry `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+}
+
+const VENDORED_PREFIXES: [&str; 3] = ["crates/rand/", "crates/proptest/", "crates/criterion/"];
+
+const HOT_PATH_FILES: [&str; 3] = [
+    "crates/netsim/src/switch.rs",
+    "crates/netsim/src/ibswitch.rs",
+    "crates/netsim/src/event.rs",
+];
+
+/// Crates whose code holds or mutates simulation state.
+const STATE_PREFIXES: [&str; 8] = [
+    "crates/netsim/",
+    "crates/flowctl/",
+    "crates/cc/",
+    "crates/core/",
+    "crates/workloads/",
+    "crates/stats/",
+    "crates/simlint/",
+    "src/",
+];
+
+impl FileClass {
+    pub fn classify(relpath: &str) -> FileClass {
+        let mut fc = FileClass::default();
+        if VENDORED_PREFIXES.iter().any(|p| relpath.starts_with(p))
+            || relpath.starts_with("target/")
+            || relpath.contains("/fixtures/")
+        {
+            fc.skip = true;
+            return fc;
+        }
+        fc.state_code =
+            STATE_PREFIXES.iter().any(|p| relpath.starts_with(p)) || relpath.starts_with("tests/");
+        fc.wall_clock_ok = relpath == "src/harness.rs" || relpath.starts_with("crates/bench/");
+        fc.threads_ok = relpath == "src/harness.rs";
+        fc.hot_path = HOT_PATH_FILES.contains(&relpath);
+        fc.crate_root = relpath == "src/lib.rs"
+            || (relpath.starts_with("crates/")
+                && relpath.ends_with("/src/lib.rs")
+                && relpath.matches('/').count() == 3);
+        fc
+    }
+}
+
+/// A parsed `// simlint: allow(rule, ...) -- reason` directive.
+struct AllowDirective {
+    rules: Vec<Rule>,
+    /// Inclusive 1-based line range this directive suppresses.
+    from_line: u32,
+    to_line: u32,
+}
+
+/// Keywords that may legitimately be followed by `[` starting an array
+/// expression rather than an indexing operation.
+const INDEX_EXEMPT_KEYWORDS: [&str; 12] = [
+    "let", "mut", "in", "if", "else", "match", "return", "as", "ref", "move", "break", "while",
+];
+
+/// Lint a single file given its workspace-relative path and source text.
+/// This is the unit the fixture tests drive directly.
+pub fn lint_file(relpath: &str, src: &str) -> Vec<Diagnostic> {
+    let fc = FileClass::classify(relpath);
+    if fc.skip {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mut diags = Vec::new();
+    let (allows, mut bad_allow_diags) =
+        parse_allow_directives(relpath, &lexed.comments, &lexed.tokens);
+    diags.append(&mut bad_allow_diags);
+
+    let test_ranges = cfg_test_ranges(&lexed.tokens);
+    let in_tests = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let allowed = |rule: Rule, line: u32| {
+        allows
+            .iter()
+            .any(|a| a.rules.contains(&rule) && line >= a.from_line && line <= a.to_line)
+    };
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if !allowed(rule, line) {
+            diags.push(Diagnostic {
+                file: relpath.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if fc.state_code && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            push(
+                Rule::HashCollections,
+                t.line,
+                format!(
+                    "`{}` has nondeterministic iteration order; simulation-state code must \
+                     use `BTree{}` so runs stay bit-identical",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+        if !fc.wall_clock_ok && (t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            push(
+                Rule::WallClock,
+                t.line,
+                format!(
+                    "`{}` reads the wall clock; simulation logic must only consume virtual \
+                     `SimTime` (wall-clock access is confined to src/harness.rs and bench code)",
+                    t.text
+                ),
+            );
+        }
+        if !fc.threads_ok
+            && t.is_ident("thread")
+            && matches!(toks.get(i + 1), Some(t1) if t1.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(t2) if t2.is_punct(':'))
+            && matches!(toks.get(i + 3),
+                Some(t3) if t3.is_ident("spawn") || t3.is_ident("scope") || t3.is_ident("Builder"))
+        {
+            push(
+                Rule::ThreadSpawn,
+                t.line,
+                "OS threads outside src/harness.rs break deterministic scheduling; route \
+                 parallelism through the harness work queue"
+                    .to_string(),
+            );
+        }
+        if fc.hot_path && !in_tests(t.line) {
+            if (t.is_ident("unwrap") || t.is_ident("expect")) && i > 0 && toks[i - 1].is_punct('.')
+            {
+                push(
+                    Rule::HotPathPanic,
+                    t.line,
+                    format!(
+                        "`.{}()` can panic in a hot-path module; handle the case or add \
+                         `// simlint: allow(hot-path-panic) -- <why it cannot fail>`",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_punct('[') && i > 0 && is_index_base(&toks[i - 1]) {
+                push(
+                    Rule::HotPathPanic,
+                    t.line,
+                    "slice indexing can panic in a hot-path module; use `get()` or add \
+                     `// simlint: allow(hot-path-panic) -- <why the index is in bounds>`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    if fc.crate_root && !has_forbid_unsafe(toks) {
+        // Suppression check uses line 1 (the attribute belongs at the top).
+        if !allowed(Rule::ForbidUnsafe, 1) {
+            diags.push(Diagnostic {
+                file: relpath.to_string(),
+                line: 1,
+                rule: Rule::ForbidUnsafe,
+                message: "crate root is missing `#![forbid(unsafe_code)]`; every non-vendored \
+                          crate in this workspace must forbid unsafe code"
+                    .to_string(),
+            });
+        }
+    }
+
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+/// True if a `[` directly after this token is an indexing operation.
+fn is_index_base(prev: &Token) -> bool {
+    match prev.kind {
+        TokKind::Ident => !INDEX_EXEMPT_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct(')') | TokKind::Punct(']') => true,
+        _ => false,
+    }
+}
+
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)] mod ... { }` items.
+/// Test modules are exempt from `hot-path-panic` only; all other rules
+/// apply inside them (a nondeterministic test is still a flaky test).
+fn cfg_test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 8 < toks.len() {
+        let w = &toks[i..i + 7];
+        let is_cfg_test = w[0].is_punct('#')
+            && w[1].is_punct('[')
+            && w[2].is_ident("cfg")
+            && w[3].is_punct('(')
+            && w[4].is_ident("test")
+            && w[5].is_punct(')')
+            && w[6].is_punct(']');
+        if is_cfg_test && toks.get(i + 7).is_some_and(|t| t.is_ident("mod")) {
+            // Find the module's opening brace, then its match.
+            let mut j = i + 8;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if let Some(end) = matching_brace(toks, j) {
+                ranges.push((toks[i].line, toks[end].line));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Given the index of a `{` token, return the index of its matching `}`.
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    if open >= toks.len() || !toks[open].is_punct('{') {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Parse every `simlint:` comment into a scoped directive, emitting
+/// `bad-allow` diagnostics for malformed ones.
+fn parse_allow_directives(
+    relpath: &str,
+    comments: &[Comment],
+    toks: &[Token],
+) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("simlint:") else {
+            continue;
+        };
+        let mut bad = |msg: String| {
+            diags.push(Diagnostic {
+                file: relpath.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: msg,
+            });
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad(format!(
+                "unrecognized simlint directive `{text}`; expected \
+                 `simlint: allow(rule) -- reason`"
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("unterminated rule list in allow directive".to_string());
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut unknown = false;
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            match Rule::from_name(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    bad(format!(
+                        "unknown rule `{name}` in allow directive (known rules: {})",
+                        ALL_RULES.map(Rule::name).join(", ")
+                    ));
+                    unknown = true;
+                }
+            }
+        }
+        if unknown {
+            continue;
+        }
+        let after = rest[close + 1..].trim();
+        let reason_ok = after
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            bad("allow directive is missing a justification; write \
+                 `simlint: allow(rule) -- reason`"
+                .to_string());
+            continue;
+        }
+        let (from_line, to_line) = directive_span(c.line, toks);
+        allows.push(AllowDirective {
+            rules,
+            from_line,
+            to_line,
+        });
+    }
+    (allows, diags)
+}
+
+/// Resolve the lines a directive at `line` suppresses: its own line when it
+/// trails code; otherwise the next code line, widened to the full function
+/// body when that line starts a `fn` item.
+fn directive_span(line: u32, toks: &[Token]) -> (u32, u32) {
+    if toks.iter().any(|t| t.line == line) {
+        return (line, line);
+    }
+    let Some(first) = toks.iter().position(|t| t.line > line) else {
+        return (line, line);
+    };
+    let next_line = toks[first].line;
+    // Does the item starting here begin a function? Scan past attributes
+    // (`#[inline]`, …) and visibility/qualifier noise (`pub`, `pub(crate)`,
+    // `const`, `async`, `unsafe`, `extern "C"`) looking for `fn`.
+    let mut j = first;
+    let mut guard = 0;
+    while j < toks.len() && guard < 64 {
+        guard += 1;
+        let t = &toks[j];
+        if t.is_punct('#') && toks.get(j + 1).is_some_and(|t1| t1.is_punct('[')) {
+            // Skip the whole attribute group (brackets may nest).
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            while k < toks.len() {
+                if toks[k].is_punct('[') {
+                    depth += 1;
+                } else if toks[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let mut k = j + 1;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            if let Some(end) = matching_brace(toks, k) {
+                return (next_line, toks[end].line);
+            }
+            break;
+        }
+        let qualifier = matches!(&t.kind, TokKind::Ident if
+                ["pub", "const", "async", "unsafe", "extern", "crate", "in", "self", "super"]
+                    .contains(&t.text.as_str()))
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.kind == TokKind::Literal;
+        if !qualifier {
+            break;
+        }
+        j += 1;
+    }
+    (next_line, next_line)
+}
+
+/// Recursively collect the workspace's lintable `.rs` files as
+/// `(relpath, absolute path)`, sorted by relpath for stable output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint the whole workspace rooted at `root`. Returns the diagnostics plus
+/// the number of files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let mut diags = Vec::new();
+    let mut scanned = 0usize;
+    for (rel, path) in workspace_files(root)? {
+        if FileClass::classify(&rel).skip {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        scanned += 1;
+        diags.extend(lint_file(&rel, &src));
+    }
+    Ok((diags, scanned))
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the root the relative rule paths are defined against.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matches_layout() {
+        assert!(FileClass::classify("crates/rand/src/lib.rs").skip);
+        assert!(FileClass::classify("crates/simlint/tests/fixtures/bad.rs").skip);
+        assert!(FileClass::classify("crates/netsim/src/switch.rs").hot_path);
+        assert!(FileClass::classify("crates/netsim/src/routing.rs").state_code);
+        assert!(!FileClass::classify("crates/bench/src/lib.rs").state_code);
+        assert!(FileClass::classify("crates/bench/src/lib.rs").wall_clock_ok);
+        assert!(FileClass::classify("src/harness.rs").threads_ok);
+        assert!(FileClass::classify("src/lib.rs").crate_root);
+        assert!(FileClass::classify("crates/netsim/src/lib.rs").crate_root);
+        assert!(!FileClass::classify("crates/netsim/src/routing.rs").crate_root);
+        assert!(!FileClass::classify("crates/netsim/tests/src/lib.rs").crate_root);
+    }
+
+    #[test]
+    fn fn_scope_allow_covers_whole_body() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   // simlint: allow(hot-path-panic) -- ports are fixed at build\n\
+                   fn f(v: &[u32], i: usize) -> u32 {\n\
+                       let a = v[i];\n\
+                       v[a as usize]\n\
+                   }\n\
+                   fn g(v: &[u32]) -> u32 { v[0] }\n";
+        let diags = lint_file("crates/netsim/src/event.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 7);
+        assert_eq!(diags[0].rule, Rule::HotPathPanic);
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line_only() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn f(v: &[u32]) -> u32 {\n\
+                       let a = v[0]; // simlint: allow(hot-path-panic) -- checked above\n\
+                       v[1]\n\
+                   }\n";
+        let diags = lint_file("crates/netsim/src/event.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "#![forbid(unsafe_code)]\n// simlint: allow(hot-path-panic)\nfn f() {}\n";
+        let diags = lint_file("crates/netsim/src/event.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_hot_path_panic_only() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       #[test]\n\
+                       fn t() { let v = vec![1]; assert_eq!(v.first().unwrap(), &1); }\n\
+                   }\n";
+        let diags = lint_file("crates/netsim/src/event.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::HashCollections);
+    }
+
+    #[test]
+    fn vec_macro_is_not_indexing() {
+        let src = "#![forbid(unsafe_code)]\nfn f() -> Vec<u32> { vec![0; 4] }\n";
+        assert!(lint_file("crates/netsim/src/event.rs", src).is_empty());
+    }
+}

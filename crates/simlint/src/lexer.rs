@@ -1,0 +1,382 @@
+//! A minimal Rust tokenizer sufficient for lint rules.
+//!
+//! This is not a full lexer: it only needs to (1) strip comments and string
+//! literals so rule patterns never match inside them, (2) attribute every
+//! token to a 1-based line number, and (3) keep comment text around so
+//! `// simlint: allow(...)` directives can be recovered with their position.
+
+/// Kind of a lexed token. String/char literal contents are never exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (value irrelevant to the lint).
+    Number,
+    /// Any single punctuation character.
+    Punct(char),
+    /// A string or char literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Text for `Ident` tokens; empty for everything else.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its starting line (text excludes the `//` / `/*` markers).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become `Punct` tokens and
+/// unterminated literals/comments simply run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> char {
+        if i < n {
+            chars[i]
+        } else {
+            '\0'
+        }
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && at(i + 1) == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && at(i + 1) == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# (and byte variants br#"..."#).
+        let (raw_prefix_len, is_raw) = raw_string_prefix(&chars, i);
+        if is_raw {
+            let mut j = i + raw_prefix_len;
+            let mut hashes = 0usize;
+            while at(j) == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // at(j) == '"' by construction of raw_string_prefix.
+            j += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            loop {
+                if j >= n {
+                    break;
+                }
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && at(j + 1 + k) == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain string literal (also b"...").
+        if c == '"' || (c == 'b' && at(i + 1) == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime. `'\...'` and `'x'` are chars; `'ident`
+        // not followed by a closing quote is a lifetime.
+        if c == '\'' || (c == 'b' && at(i + 1) == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            if at(q + 1) == '\\' {
+                // Escaped char literal: scan to closing quote.
+                let mut j = q + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if at(q + 2) == '\'' {
+                // 'x'
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = q + 3;
+                continue;
+            }
+            // Lifetime: consume the identifier after the quote.
+            let mut j = q + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (is_ident_continue(chars[j])) {
+                j += 1;
+            }
+            // Fractional part, but not a `..` range.
+            if at(j) == '.' && at(j + 1).is_ascii_digit() {
+                j += 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a raw-string prefix (`r"`, `r#`, `br"`, `br#`),
+/// return (length of the `r`/`br` part, true).
+fn raw_string_prefix(chars: &[char], i: usize) -> (usize, bool) {
+    let at = |k: usize| -> char {
+        if k < chars.len() {
+            chars[k]
+        } else {
+            '\0'
+        }
+    };
+    let (skip, c0) = if chars[i] == 'b' {
+        (2, at(i + 1))
+    } else {
+        (1, chars[i])
+    };
+    if c0 != 'r' {
+        return (0, false);
+    }
+    let mut j = i + skip;
+    while at(j) == '#' {
+        j += 1;
+    }
+    if at(j) == '"' {
+        (skip, true)
+    } else {
+        (0, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"thread::spawn "quoted""#;
+            let c = 'x';
+            let e = '\n';
+            fn f<'a>(x: &'a str) {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"spawn".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// simlint: allow(x) -- y\nlet b = 2;\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.comments[0].line, 2);
+        assert!(lx.comments[0].text.contains("simlint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'long>(x: &'long u32) -> u32 { x['a' as usize] }");
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;\n";
+        let lx = lex(src);
+        let t_tok = lx.tokens.iter().find(|t| t.is_ident("t")).expect("t token");
+        assert_eq!(t_tok.line, 4);
+    }
+}

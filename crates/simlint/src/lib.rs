@@ -1,0 +1,30 @@
+//! `simlint` — static analysis for the TCD reproduction workspace.
+//!
+//! Two levels, both pure (no I/O beyond reading source files, no
+//! dependencies outside the workspace):
+//!
+//! * [`codelint`] — a token-level Rust scanner enforcing the project's
+//!   determinism and robustness rules that clippy cannot express (BTree
+//!   collections in simulation state, no wall-clock or OS threads outside
+//!   the harness, justified panics in hot-path modules, `unsafe` forbidden
+//!   in every crate root).
+//! * [`topolint`] — a static scenario analyzer that builds the directed
+//!   buffer-dependency graph from routing tables and reports potential
+//!   PFC/CBFC deadlock cycles (à la DCFIT), unreachable host pairs,
+//!   routing asymmetries and under-provisioned PFC headroom — before a
+//!   single event is scheduled.
+//!
+//! The runtime audit layer (PR 2) catches these properties *while
+//! simulating*; `simlint` moves the same guarantees left, into a
+//! compile-adjacent pass wired into `scripts/ci.sh` via `tcdsim lint`.
+
+#![forbid(unsafe_code)]
+
+pub mod codelint;
+pub mod lexer;
+pub mod topolint;
+
+pub use codelint::{
+    find_workspace_root, lint_file, lint_workspace, Diagnostic, FileClass, Rule, ALL_RULES,
+};
+pub use topolint::{analyze, Severity, TopoDiag, TopoReport, TopoSpec, DEFAULT_PFC_HEADROOM_BYTES};

@@ -1,0 +1,13 @@
+//! Fixture: the same hot-path violations as hot_path_panic.rs, fully
+//! suppressed by scoped allow directives with reasons.
+
+// simlint: allow(hot-path-panic) -- fixture: indices proven in bounds by construction
+pub fn hot(v: &[u64], o: Option<u64>) -> u64 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    a + b + v[0]
+}
+
+pub fn single_line(v: &[u64]) -> u64 {
+    v[1] // simlint: allow(hot-path-panic) -- fixture: caller guarantees len > 1
+}

@@ -1,0 +1,11 @@
+//! Fixture: malformed allow directives (unknown rule, missing reason).
+
+// simlint: allow(no-such-rule) -- reason present but rule unknown
+pub fn a(v: &[u64]) -> u64 {
+    v[0]
+}
+
+// simlint: allow(hot-path-panic)
+pub fn b(v: &[u64]) -> u64 {
+    v[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: HashMap/HashSet in simulation state code (non-deterministic
+//! iteration order breaks golden-trace reproducibility).
+use std::collections::{HashMap, HashSet};
+
+pub fn state() -> (HashMap<u32, u64>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

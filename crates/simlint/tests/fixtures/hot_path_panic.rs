@@ -1,0 +1,7 @@
+//! Fixture: unwrap/expect/indexing in a hot-path module without an allow
+//! directive.
+pub fn hot(v: &[u64], o: Option<u64>) -> u64 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    a + b + v[0]
+}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

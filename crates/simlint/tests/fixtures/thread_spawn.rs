@@ -1,0 +1,5 @@
+//! Fixture: thread spawning outside the harness (the event engine is
+//! single-threaded; parallelism lives in src/harness.rs only).
+pub fn run() {
+    std::thread::spawn(|| {}).join().ok();
+}

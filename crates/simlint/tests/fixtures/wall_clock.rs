@@ -1,0 +1,7 @@
+//! Fixture: wall-clock reads outside the harness (simulation results must
+//! be a pure function of the scenario, never of real time).
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,122 @@
+//! Fixture-driven tests: each lint rule fires on a known-bad snippet, allow
+//! directives suppress exactly what they claim to, and — the keystone — the
+//! committed workspace itself lints clean.
+//!
+//! The snippets live in `tests/fixtures/` (excluded from the workspace
+//! walker) and are fed through [`simlint::lint_file`] under fake relative
+//! paths so each lands in the file class its rule targets.
+
+use simlint::{find_workspace_root, lint_file, lint_workspace, Rule};
+
+/// Lint `src` as if it lived at `relpath` and return the fired rules.
+fn rules_for(relpath: &str, src: &str) -> Vec<Rule> {
+    lint_file(relpath, src)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn hash_collections_fire_in_state_code() {
+    let src = include_str!("fixtures/hash_collections.rs");
+    let rules = rules_for("crates/netsim/src/bad.rs", src);
+    assert!(
+        rules.iter().all(|r| *r == Rule::HashCollections),
+        "only hash-collections should fire: {rules:?}"
+    );
+    // Two in the `use` list, two in the return type, two constructions.
+    assert_eq!(rules.len(), 6, "{rules:?}");
+    // The same source outside simulation-state crates is fine.
+    assert!(rules_for("crates/rand/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_fires_outside_the_harness() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let rules = rules_for("crates/netsim/src/bad.rs", src);
+    assert!(
+        !rules.is_empty() && rules.iter().all(|r| *r == Rule::WallClock),
+        "{rules:?}"
+    );
+    // The harness and the bench crate may read wall clocks.
+    assert!(rules_for("src/harness.rs", src).is_empty());
+    assert!(rules_for("crates/bench/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn thread_spawn_fires_outside_the_harness() {
+    let src = include_str!("fixtures/thread_spawn.rs");
+    let rules = rules_for("crates/netsim/src/bad.rs", src);
+    assert_eq!(rules, vec![Rule::ThreadSpawn]);
+    assert!(rules_for("src/harness.rs", src).is_empty());
+}
+
+#[test]
+fn hot_path_panic_fires_only_in_hot_path_modules() {
+    let src = include_str!("fixtures/hot_path_panic.rs");
+    let rules = rules_for("crates/netsim/src/switch.rs", src);
+    // unwrap + expect + one indexing site.
+    assert_eq!(rules.len(), 3, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::HotPathPanic), "{rules:?}");
+    // The same code in a non-hot-path module is allowed.
+    assert!(rules_for("crates/netsim/src/topology.rs", src).is_empty());
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_on_crate_roots_only() {
+    let src = include_str!("fixtures/missing_forbid.rs");
+    assert_eq!(
+        rules_for("crates/netsim/src/lib.rs", src),
+        vec![Rule::ForbidUnsafe]
+    );
+    // Non-root modules don't need the attribute.
+    assert!(rules_for("crates/netsim/src/other.rs", src).is_empty());
+}
+
+#[test]
+fn allow_directives_suppress_their_scope() {
+    let src = include_str!("fixtures/allow_suppressed.rs");
+    let diags = lint_file("crates/netsim/src/switch.rs", src);
+    assert!(
+        diags.is_empty(),
+        "all violations covered by allows: {diags:?}"
+    );
+}
+
+#[test]
+fn malformed_allows_are_themselves_findings() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let rules = rules_for("crates/netsim/src/switch.rs", src);
+    // Each bad directive reports bad-allow AND fails to suppress the
+    // indexing under it.
+    assert_eq!(
+        rules.iter().filter(|r| **r == Rule::BadAllow).count(),
+        2,
+        "{rules:?}"
+    );
+    assert_eq!(
+        rules.iter().filter(|r| **r == Rule::HotPathPanic).count(),
+        2,
+        "{rules:?}"
+    );
+}
+
+/// The keystone: the committed workspace has zero findings. Any rule
+/// violation introduced by a future change fails this test before it ever
+/// reaches the CI `tcdsim lint` gate.
+#[test]
+fn committed_workspace_lints_clean() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("simlint lives inside the workspace");
+    let (diags, files) = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(files > 50, "walker should see the whole workspace: {files}");
+    assert!(
+        diags.is_empty(),
+        "workspace must self-lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -113,7 +113,7 @@ mod tests {
     fn io_sizes_are_the_four_paper_values() {
         let mut rng = StdRng::seed_from_u64(2);
         let allowed = io_message_sizes();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..1000 {
             let s = sample_io_size(&mut rng);
             assert!(allowed.contains(&s));

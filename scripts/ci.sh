@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 echo "=== cargo build --release ==="
 cargo build --release
 
+# Static analysis gates ahead of the test passes: code-level determinism
+# rules plus the buffer-dependency analysis of every committed scenario
+# topology. `tcdsim lint` exits non-zero on any finding.
+echo "=== tcdsim lint ==="
+./target/release/tcdsim lint
+
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 

@@ -29,6 +29,7 @@ commands:
   fairness   the fairness scenario (Fig. 20)
   trees      reconstruct congestion trees mid-incast (Fig. 5)
   sweep      the victim grid (network x detector x seed) on a worker pool
+  lint       static analysis: workspace code lint + scenario topology checks
 
 common options:
   --network cee|ib     (default cee)
@@ -43,7 +44,12 @@ sweep options:     --seeds N                seeds per cell (default 3)
                    --threads N              worker threads (default: TCD_THREADS
                                             or the machine's parallelism; results
                                             are identical at any value)
-                   --out DIR                report directory (default results)"
+                   --out DIR                report directory (default results)
+lint options:      --code                   run only the workspace code lint
+                   --topo NAME              run only the topology analysis of
+                                            NAME (repeatable); without flags,
+                                            lint runs the code lint plus every
+                                            committed scenario"
     );
     exit(2)
 }
@@ -60,6 +66,8 @@ struct Args {
     seeds: u64,
     threads: usize,
     out: String,
+    lint_code: bool,
+    lint_topos: Vec<String>,
 }
 
 fn parse() -> Args {
@@ -79,6 +87,8 @@ fn parse() -> Args {
         seeds: 3,
         threads: harness::default_threads(),
         out: "results".to_string(),
+        lint_code: false,
+        lint_topos: Vec::new(),
     };
     let mut i = 2;
     while i < argv.len() {
@@ -143,6 +153,15 @@ fn parse() -> Args {
             }
             "--out" => {
                 a.out = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--code" => {
+                a.lint_code = true;
+                i += 1;
+            }
+            "--topo" => {
+                a.lint_topos
+                    .push(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -349,6 +368,75 @@ fn cmd_sweep(a: &Args) {
     );
 }
 
+fn cmd_lint(a: &Args) {
+    use tcd_repro::lintspec;
+
+    // Default (no flags): code lint + every committed scenario.
+    let run_code = a.lint_code || a.lint_topos.is_empty();
+    let topos: Vec<String> = if a.lint_topos.is_empty() && !a.lint_code {
+        lintspec::COMMITTED.iter().map(|s| s.to_string()).collect()
+    } else {
+        a.lint_topos.clone()
+    };
+    let mut failed = false;
+
+    if run_code {
+        let cwd = std::env::current_dir().expect("current dir");
+        let Some(root) = simlint::find_workspace_root(&cwd) else {
+            eprintln!("lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+            exit(2);
+        };
+        match simlint::lint_workspace(&root) {
+            Ok((diags, files)) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("code lint: {} finding(s) in {files} files", diags.len());
+                failed |= !diags.is_empty();
+            }
+            Err(e) => {
+                eprintln!("lint: cannot scan workspace: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    let mut clean = Vec::new();
+    for name in &topos {
+        let Some(spec) = lintspec::build(name) else {
+            eprintln!(
+                "lint: unknown scenario `{name}` (known: {}, seeded-bad: {})",
+                lintspec::COMMITTED.join(", "),
+                lintspec::SEEDED_BAD.join(", ")
+            );
+            exit(2);
+        };
+        let rep = simlint::analyze(&spec);
+        if rep.diags.is_empty() {
+            clean.push(name.as_str());
+        } else {
+            println!(
+                "{name}: {} channel(s), {} dependency edge(s)",
+                rep.channels, rep.dependencies
+            );
+            for d in &rep.diags {
+                println!("  {d}");
+            }
+        }
+        failed |= rep.has_errors();
+    }
+    if !topos.is_empty() {
+        println!(
+            "topology lint: {}/{} scenario(s) clean",
+            clean.len(),
+            topos.len()
+        );
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let a = parse();
     match a.cmd.as_str() {
@@ -357,6 +445,7 @@ fn main() {
         "fairness" => cmd_fairness(&a),
         "trees" => cmd_trees(&a),
         "sweep" => cmd_sweep(&a),
+        "lint" => cmd_lint(&a),
         _ => usage(),
     }
 }

@@ -5,6 +5,8 @@
 //! ([`report`]) used by the examples, the integration tests and the
 //! per-figure experiment binaries in `crates/bench`.
 
+#![forbid(unsafe_code)]
+
 pub use lossless_cc as cc;
 pub use lossless_flowctl as flowctl;
 pub use lossless_netsim as netsim;
@@ -13,5 +15,6 @@ pub use lossless_workloads as workloads;
 pub use tcd_core as tcd;
 
 pub mod harness;
+pub mod lintspec;
 pub mod report;
 pub mod scenarios;

@@ -1,0 +1,190 @@
+//! Named scenario specs for the static topology analyzer (`tcdsim lint`).
+//!
+//! Bridges the experiment scenarios in [`crate::scenarios`] to
+//! [`simlint::TopoSpec`]: each name maps to the topology + configuration +
+//! route selection a committed experiment or golden trace actually runs
+//! with, so `tcdsim lint --topo <name>` (and the CI gate, which runs every
+//! committed name) analyzes exactly what the simulator would execute.
+//!
+//! Two extra *seeded-bad* specs are deliberately broken — a cyclic
+//! up-down-violating triangle and a headroom-starved long-haul dumbbell.
+//! They are excluded from the committed set; naming them explicitly makes
+//! `tcdsim lint` exit non-zero, which the test suite relies on.
+
+use lossless_flowctl::pfc::PfcConfig;
+use lossless_flowctl::{Rate, SimDuration, SimTime};
+use lossless_netsim::config::FlowControlMode;
+use lossless_netsim::routing::RouteSelect;
+use lossless_netsim::topology::{
+    dumbbell, fat_tree, figure2, leaf_spine, testbed_compact, Figure2Options, Topology,
+};
+use simlint::TopoSpec;
+
+use crate::scenarios::{default_config, Network};
+
+/// Scenario names whose specs must analyze clean — the golden-trace set
+/// plus every other committed experiment topology. CI runs all of them.
+pub const COMMITTED: [&str; 10] = [
+    "cee-single-cp",
+    "cee-multi-cp",
+    "ib-single-cp",
+    "incast-victim",
+    "fat-tree-k4",
+    "fat-tree-k6",
+    "hpc-fat-tree-k4",
+    "testbed-compact",
+    "fairness",
+    "leaf-spine",
+];
+
+/// Deliberately broken specs (never part of the CI-clean set).
+pub const SEEDED_BAD: [&str; 2] = ["seeded-cyclic-triangle", "seeded-headroom-starved"];
+
+/// The paper's default link parameters (40 Gbps, 4 µs).
+fn paper_link() -> (Rate, SimDuration) {
+    (Rate::from_gbps(40), SimDuration::from_us(4))
+}
+
+/// Analysis ignores the end time; any value works.
+fn end() -> SimTime {
+    SimTime::from_ms(1)
+}
+
+/// The deliberately deadlock-prone triangle: three switches in a ring, one
+/// host each, with route overrides sending every pair "the long way round"
+/// — the classic cyclic buffer dependency that up-down routing exists to
+/// prevent (DCFIT's motivating example).
+fn cyclic_triangle() -> TopoSpec {
+    let mut b = Topology::builder();
+    let (r, d) = paper_link();
+    let s: Vec<_> = (0..3).map(|i| b.switch(format!("s{i}"))).collect();
+    let h: Vec<_> = (0..3).map(|i| b.host(format!("h{i}"))).collect();
+    for i in 0..3 {
+        b.link(h[i], s[i], r, d);
+        b.link(s[i], s[(i + 1) % 3], r, d);
+    }
+    let topo = b.build();
+    let mut spec = TopoSpec::new(
+        "seeded-cyclic-triangle",
+        topo,
+        default_config(Network::Cee, false, end()),
+        RouteSelect::Ecmp,
+    );
+    spec.route_overrides = vec![
+        (h[0], h[2], vec![h[0], s[0], s[1], s[2], h[2]]),
+        (h[1], h[0], vec![h[1], s[1], s[2], s[0], h[0]]),
+        (h[2], h[1], vec![h[2], s[2], s[0], s[1], h[1]]),
+    ];
+    spec
+}
+
+/// A PFC dumbbell whose rate·delay product needs far more PAUSE headroom
+/// than is provisioned: 100 Gbps over 100 µs links wants ~2.5 MB above
+/// `X_off`, an order of magnitude past the 96 KiB the audit layer models.
+fn headroom_starved() -> TopoSpec {
+    let db = dumbbell(Rate::from_gbps(100), SimDuration::from_us(100));
+    TopoSpec::new(
+        "seeded-headroom-starved",
+        db.topo,
+        default_config(Network::Cee, false, end()),
+        RouteSelect::Ecmp,
+    )
+}
+
+/// Build the spec for a scenario name; `None` for unknown names.
+pub fn build(name: &str) -> Option<TopoSpec> {
+    let (r, d) = paper_link();
+    let spec = match name {
+        // Figure-2 observation scenarios: single vs multiple congestion
+        // points differ only in traffic, not in topology or flow control.
+        "cee-single-cp" | "cee-multi-cp" => TopoSpec::new(
+            name,
+            figure2(Figure2Options::default()).topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        "ib-single-cp" => TopoSpec::new(
+            name,
+            figure2(Figure2Options::default()).topo,
+            default_config(Network::Ib, false, end()),
+            Network::Ib.routing(),
+        ),
+        // §5.1.3 victim scenario: 20 Gbps sender edges.
+        "incast-victim" => TopoSpec::new(
+            name,
+            figure2(Figure2Options {
+                s_edge_rate: Some(Rate::from_gbps(20)),
+                ..Default::default()
+            })
+            .topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        "fat-tree-k4" => TopoSpec::new(
+            name,
+            fat_tree(4, r, d).topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        "fat-tree-k6" => TopoSpec::new(
+            name,
+            fat_tree(6, r, d).topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        // §5.2.2-style HPC setup: InfiniBand + D-mod-k on a fat-tree.
+        "hpc-fat-tree-k4" => TopoSpec::new(
+            name,
+            fat_tree(4, r, d).topo,
+            default_config(Network::Ib, false, end()),
+            RouteSelect::DModK,
+        ),
+        // §5.1.1 DPDK testbed: 10 Gbps, 1 µs, 800/770 KB PFC thresholds.
+        "testbed-compact" => {
+            let rate = Rate::from_gbps(10);
+            let delay = SimDuration::from_us(1);
+            let mut cfg = default_config(Network::Cee, false, end());
+            cfg.flow_control = FlowControlMode::Pfc(PfcConfig::paper_testbed());
+            TopoSpec::new(
+                name,
+                testbed_compact(rate, delay).topo,
+                cfg,
+                Network::Cee.routing(),
+            )
+        }
+        // §5.2.4 fairness: Figure 2 plus the B hosts.
+        "fairness" => TopoSpec::new(
+            name,
+            figure2(Figure2Options {
+                with_b_hosts: true,
+                ..Default::default()
+            })
+            .topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        "leaf-spine" => TopoSpec::new(
+            name,
+            leaf_spine(3, 2, 4, r, d).topo,
+            default_config(Network::Cee, false, end()),
+            Network::Cee.routing(),
+        ),
+        "seeded-cyclic-triangle" => cyclic_triangle(),
+        "seeded-headroom-starved" => headroom_starved(),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for name in COMMITTED.iter().chain(SEEDED_BAD.iter()) {
+            assert!(build(name).is_some(), "spec {name} should build");
+        }
+        assert!(build("no-such-scenario").is_none());
+    }
+}

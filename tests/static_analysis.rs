@@ -1,0 +1,129 @@
+//! Static topology analysis (`tcdsim lint --topo`) over the committed
+//! scenario registry: every committed spec must analyze clean, the seeded
+//! deliberately-broken specs must fail with the exact diagnostics the lint
+//! promises, and the static verdicts must agree with the runtime
+//! pause-deadlock regressions in `paper_phenomena.rs`.
+
+use simlint::{analyze, Severity};
+use tcd_repro::lintspec;
+
+/// Every committed scenario — the golden-trace set plus all other
+/// experiment topologies — must carry zero static errors. This is the same
+/// set the `tcdsim lint` CI gate runs.
+#[test]
+fn all_committed_scenarios_analyze_clean() {
+    for name in lintspec::COMMITTED {
+        let spec = lintspec::build(name).expect("committed name builds");
+        let report = analyze(&spec);
+        assert!(
+            !report.has_errors(),
+            "{name} must analyze clean:\n{}",
+            report
+                .diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.channels > 0, "{name} should have channels");
+        assert!(report.dependencies > 0, "{name} should have dependencies");
+    }
+}
+
+/// The seeded triangle routes every host pair "the long way round" the
+/// ring, creating the canonical cyclic buffer dependency. The analyzer
+/// must report the cycle as an error and name all three switch hops.
+#[test]
+fn seeded_triangle_reports_the_exact_cycle() {
+    let spec = lintspec::build("seeded-cyclic-triangle").expect("seeded spec builds");
+    let report = analyze(&spec);
+    assert!(report.has_errors(), "the triangle must fail analysis");
+    let cycles: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.check == "deadlock-cycle")
+        .collect();
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {:?}", report.diags);
+    let msg = &cycles[0].message;
+    for hop in ["s0[", "s1[", "s2["] {
+        assert!(msg.contains(hop), "cycle must name hop {hop}: {msg}");
+    }
+    assert_eq!(cycles[0].severity, Severity::Error);
+}
+
+/// 100 Gbps over 100 µs links needs megabytes of PAUSE headroom — far more
+/// than the 96 KiB the audit layer provisions. The analyzer must flag it.
+#[test]
+fn seeded_headroom_starved_dumbbell_fails() {
+    let spec = lintspec::build("seeded-headroom-starved").expect("seeded spec builds");
+    let report = analyze(&spec);
+    assert!(report.has_errors());
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.check == "pfc-headroom" && d.severity == Severity::Error),
+        "expected a pfc-headroom error: {:?}",
+        report.diags
+    );
+    // Starved headroom is a sizing bug, not a routing bug: no cycles.
+    assert!(
+        report.diags.iter().all(|d| d.check != "deadlock-cycle"),
+        "{:?}",
+        report.diags
+    );
+}
+
+/// Cross-check against the runtime: `paper_phenomena.rs` asserts that the
+/// CEE figure-2 pause storm dissolves with no pause deadlock. The static
+/// analyzer must agree that the very topology that run executes on is free
+/// of cyclic buffer dependencies — the storm is transient congestion
+/// spreading, not a structural deadlock.
+#[test]
+fn static_verdict_matches_runtime_pause_deadlock_regression() {
+    let spec = lintspec::build("cee-single-cp").expect("spec builds");
+    let report = analyze(&spec);
+    assert!(
+        report.diags.iter().all(|d| d.check != "deadlock-cycle"),
+        "runtime shows the pause storm dissolving, so the static graph \
+         must be acyclic: {:?}",
+        report.diags
+    );
+}
+
+/// The analyzer must notice unreachable host pairs (a wiring bug no
+/// simulation run would surface until a flow silently stalls).
+#[test]
+fn disconnected_topology_is_reported() {
+    use lossless_flowctl::{Rate, SimDuration, SimTime};
+    use lossless_netsim::routing::RouteSelect;
+    use lossless_netsim::topology::Topology;
+    use simlint::TopoSpec;
+    use tcd_repro::scenarios::{default_config, Network};
+
+    let mut b = Topology::builder();
+    let r = Rate::from_gbps(40);
+    let d = SimDuration::from_us(4);
+    let s0 = b.switch("s0");
+    let s1 = b.switch("s1");
+    let h0 = b.host("h0");
+    let h1 = b.host("h1");
+    b.link(h0, s0, r, d);
+    b.link(h1, s1, r, d);
+    // s0 and s1 are never linked: the hosts cannot reach each other.
+    let spec = TopoSpec::new(
+        "disconnected",
+        b.build(),
+        default_config(Network::Cee, false, SimTime::from_ms(1)),
+        RouteSelect::Ecmp,
+    );
+    let report = analyze(&spec);
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.check == "unreachable" && d.severity == Severity::Error),
+        "{:?}",
+        report.diags
+    );
+}
