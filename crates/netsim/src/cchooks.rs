@@ -47,6 +47,19 @@ pub enum CcEvent {
     },
 }
 
+impl CcEvent {
+    /// Stable metric name for this event kind, used by the per-host
+    /// `cc.event.*` counters in the observability layer.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CcEvent::Feedback { .. } => "cc.event.feedback",
+            CcEvent::Ack { .. } => "cc.event.ack",
+            CcEvent::Timer { .. } => "cc.event.timer",
+            CcEvent::Sent { .. } => "cc.event.sent",
+        }
+    }
+}
+
 /// Timer requests returned by a controller. An empty action means "nothing
 /// to schedule".
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -171,6 +184,19 @@ mod tests {
         let mut f = FixedRate::line_rate();
         let _ = f.start(SimTime::ZERO, Rate::from_gbps(25));
         assert_eq!(f.rate(), Rate::from_gbps(25));
+    }
+
+    #[test]
+    fn event_kind_names_are_stable() {
+        assert_eq!(
+            CcEvent::Feedback {
+                code: CodePoint::CE
+            }
+            .kind_name(),
+            "cc.event.feedback"
+        );
+        assert_eq!(CcEvent::Timer { id: 1 }.kind_name(), "cc.event.timer");
+        assert_eq!(CcEvent::Sent { bytes: 1 }.kind_name(), "cc.event.sent");
     }
 
     #[test]

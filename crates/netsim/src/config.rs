@@ -166,6 +166,20 @@ pub struct SimConfig {
     /// backlog exerts hop-by-hop back-pressure on its ToR — the classic
     /// edge-originated pause-storm pathology of production RoCE fabrics.
     pub host_rx_rate: Option<lossless_flowctl::Rate>,
+    /// Observability: metrics registry + flight recorder knobs. The
+    /// default level records everything; `ObsLevel::Off` compiles every
+    /// instrumentation call down to an early return. Neither setting
+    /// affects simulation behaviour or fingerprints.
+    pub obs: lossless_obs::ObsConfig,
+    /// Upper bound on retained [`MarkEvent`](crate::trace::MarkEvent)s.
+    /// `None` (default) keeps every record; with a cap, excess records are
+    /// dropped *and counted* (`Trace::dropped_marks`, surfaced in the
+    /// metrics dump as `trace.dropped_marks`).
+    pub max_marks: Option<usize>,
+    /// Upper bound on retained port samples, with the same counted-drop
+    /// semantics (`Trace::dropped_port_samples`). `None` by default: the
+    /// run fingerprint includes the sample count, so capping is opt-in.
+    pub max_port_samples: Option<usize>,
 }
 
 impl SimConfig {
@@ -190,6 +204,9 @@ impl SimConfig {
             rto: SimDuration::from_us(500),
             int_telemetry: false,
             host_rx_rate: None,
+            obs: lossless_obs::ObsConfig::default(),
+            max_marks: None,
+            max_port_samples: None,
         }
     }
 
@@ -216,6 +233,9 @@ impl SimConfig {
             rto: SimDuration::from_us(500),
             int_telemetry: false,
             host_rx_rate: None,
+            obs: lossless_obs::ObsConfig::default(),
+            max_marks: None,
+            max_port_samples: None,
         }
     }
 

@@ -76,6 +76,37 @@ pub enum Event {
     TraceTick,
 }
 
+impl Event {
+    /// Dense kind index, used by the observability layer's per-kind
+    /// dispatch counters. Indexes into [`Event::KIND_NAMES`].
+    #[inline]
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::PacketArrival { .. } => 0,
+            Event::PortTx { .. } => 1,
+            Event::FcclTick { .. } => 2,
+            Event::DetectorTimer { .. } => 3,
+            Event::FlowStart { .. } => 4,
+            Event::CcTimer { .. } => 5,
+            Event::HostDrain { .. } => 6,
+            Event::TraceTick => 7,
+        }
+    }
+
+    /// Metric names of the event kinds, indexed by
+    /// [`Event::kind_index`].
+    pub const KIND_NAMES: [&'static str; 8] = [
+        "engine.dispatch.packet_arrival",
+        "engine.dispatch.port_tx",
+        "engine.dispatch.fccl_tick",
+        "engine.dispatch.detector_timer",
+        "engine.dispatch.flow_start",
+        "engine.dispatch.cc_timer",
+        "engine.dispatch.host_drain",
+        "engine.dispatch.trace_tick",
+    ];
+}
+
 #[derive(Debug)]
 struct Scheduled {
     at: SimTime,

@@ -234,7 +234,9 @@ impl Host {
             self.kick(ctx);
             return;
         }
-        let action = flow.cc.on_event(ctx.now, CcEvent::Timer { id: timer });
+        let ev = CcEvent::Timer { id: timer };
+        ctx.obs.cc_event(self.id.0, ev.kind_name());
+        let action = flow.cc.on_event(ctx.now, ev);
         Self::apply_action(ctx, self.id, flow, action);
         self.kick(ctx);
     }
@@ -356,7 +358,9 @@ impl Host {
         f.sent += seg;
         // Pace the next segment at the CC rate.
         f.next_tx = ctx.now + f.cc.rate().serialize_time(seg);
-        let action = f.cc.on_event(ctx.now, CcEvent::Sent { bytes: seg });
+        let ev = CcEvent::Sent { bytes: seg };
+        ctx.obs.cc_event(self.id.0, ev.kind_name());
+        let action = f.cc.on_event(ctx.now, ev);
         let fid = f.id;
         {
             let f = &mut self.active[i];
@@ -403,8 +407,11 @@ impl Host {
         match pkt.kind {
             PacketKind::Pause { prio, pause } => {
                 let changed = self.pfc_paused[prio as usize].on_frame(pause);
-                if changed && !pause {
-                    self.kick(ctx);
+                if changed {
+                    ctx.obs.pfc_frame_rx(ctx.now, self.id.0, 0, prio, pause);
+                    if !pause {
+                        self.kick(ctx);
+                    }
                 }
                 ctx.pool.recycle(pkt);
             }
@@ -504,6 +511,7 @@ impl Host {
 
     fn deliver_cc_event(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, ev: CcEvent) {
         if let Some(f) = self.active.iter_mut().find(|f| f.id == flow_id) {
+            ctx.obs.cc_event(self.id.0, ev.kind_name());
             let action = f.cc.on_event(ctx.now, ev);
             Self::apply_action(ctx, self.id, f, action);
             self.kick(ctx);
@@ -538,6 +546,7 @@ impl Host {
                     0,
                 )));
                 ctx.trace.pause_frames += 1;
+                ctx.obs.pfc_frame_tx(ctx.now, self.id.0, 0, pkt.prio, true);
                 self.kick(ctx);
             }
             self.rx_q[prio].push_back(pkt.size);
@@ -668,6 +677,8 @@ impl Host {
                 CTRL_FRAME_BYTES,
                 0,
             )));
+            ctx.obs
+                .pfc_frame_tx(ctx.now, self.id.0, 0, prio as u8, false);
             self.kick(ctx);
         }
         // Schedule the next processing completion, if any work remains.

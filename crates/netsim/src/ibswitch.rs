@@ -44,6 +44,9 @@ pub struct IbPort {
     det: Vec<Box<dyn CongestionDetector>>,
     /// Earliest pending detector-timer event per VL.
     det_timer: Vec<Option<SimTime>>,
+    /// Last detector state observed per VL, used to detect Fig.-6
+    /// transitions for the observability layer without polling.
+    last_state: Vec<TernaryState>,
     /// Egress: round-robin pointer over input ports, per VL.
     rr: Vec<usize>,
     /// Egress: remaining weighted-round-robin quantum per VL, in bytes
@@ -126,23 +129,29 @@ impl IbSwitch {
         }
         let nvl = num_vls as usize;
         let ports = (0..n_ports)
-            .map(|p| IbPort {
-                rx: (0..nvl).map(|_| CbfcReceiver::new(*cbfc_cfg)).collect(),
-                voq: (0..nvl)
-                    .map(|_| (0..n_ports).map(|_| VecDeque::new()).collect())
-                    .collect(),
-                tx: (0..nvl).map(|_| CbfcSender::new(*cbfc_cfg)).collect(),
-                blocked: vec![false; nvl],
-                block_epochs: vec![0; nvl],
-                ctrl: VecDeque::new(),
-                det: (0..nvl).map(|vl| mk_det(p as u16, vl as u8)).collect(),
-                det_timer: vec![None; nvl],
-                rr: vec![0; nvl],
-                wrr_deficit: vec![0; nvl],
-                wrr_next: 0,
-                out_backlog: vec![0; nvl],
-                gate: TxGate::new(),
-                tx_bytes: 0,
+            .map(|p| {
+                let det: Vec<Box<dyn CongestionDetector>> =
+                    (0..nvl).map(|vl| mk_det(p as u16, vl as u8)).collect();
+                let last_state = det.iter().map(|d| d.port_state()).collect();
+                IbPort {
+                    rx: (0..nvl).map(|_| CbfcReceiver::new(*cbfc_cfg)).collect(),
+                    voq: (0..nvl)
+                        .map(|_| (0..n_ports).map(|_| VecDeque::new()).collect())
+                        .collect(),
+                    tx: (0..nvl).map(|_| CbfcSender::new(*cbfc_cfg)).collect(),
+                    blocked: vec![false; nvl],
+                    block_epochs: vec![0; nvl],
+                    ctrl: VecDeque::new(),
+                    det,
+                    det_timer: vec![None; nvl],
+                    last_state,
+                    rr: vec![0; nvl],
+                    wrr_deficit: vec![0; nvl],
+                    wrr_next: 0,
+                    out_backlog: vec![0; nvl],
+                    gate: TxGate::new(),
+                    tx_bytes: 0,
+                }
             })
             .collect();
         IbSwitch {
@@ -236,6 +245,19 @@ impl IbSwitch {
         }
     }
 
+    /// Report a detector state change for `(port, vl)` to the
+    /// observability layer (cheap two-byte compare when nothing changed).
+    // simlint: allow(hot-path-panic) -- (port, vl) validated by the callers' invariants; vecs sized at construction
+    fn obs_note_state(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
+        let p = &mut self.ports[port as usize];
+        let cur = p.det[vl as usize].port_state();
+        let prev = p.last_state[vl as usize];
+        if cur != prev {
+            p.last_state[vl as usize] = cur;
+            ctx.obs.transition(ctx.now, self.id.0, port, vl, prev, cur);
+        }
+    }
+
     // simlint: allow(hot-path-panic) -- (port, vl) pairs originate from this switch's own event scheduling; vecs sized at construction
     fn sync_det_timer(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &mut self.ports[port as usize];
@@ -286,6 +308,7 @@ impl IbSwitch {
                 p.det[vl as usize].on_timer(ctx.now, q, backpressured);
             }
         }
+        self.obs_note_state(ctx, port, vl);
         #[cfg(feature = "audit")]
         self.audit_note_state(ctx, port, vl);
         self.sync_det_timer(ctx, port, vl);
@@ -304,6 +327,7 @@ impl IbSwitch {
             0,
         ));
         p.ctrl.push_back(frame);
+        ctx.obs.fccl_tx(ctx.now, self.id.0, port, vl, fccl);
         self.kick(ctx, port);
         ctx.q.schedule(
             ctx.now + period,
@@ -325,6 +349,8 @@ impl IbSwitch {
             if p.blocked[vl as usize] && p.tx[vl as usize].available_blocks() > 0 {
                 p.blocked[vl as usize] = false;
                 p.det[vl as usize].on_resume(ctx.now);
+                ctx.obs.credit_stall(ctx.now, self.id.0, in_port, vl, false);
+                self.obs_note_state(ctx, in_port, vl);
                 #[cfg(feature = "audit")]
                 self.audit_note_state(ctx, in_port, vl);
                 self.sync_det_timer(ctx, in_port, vl);
@@ -430,6 +456,9 @@ impl IbSwitch {
                     p.blocked[vl] = true;
                     p.block_epochs[vl] += 1;
                     p.det[vl].on_pause(ctx.now);
+                    ctx.obs
+                        .credit_stall(ctx.now, self.id.0, port, vl as u8, true);
+                    self.obs_note_state(ctx, port, vl as u8);
                     #[cfg(feature = "audit")]
                     self.audit_note_state(ctx, port, vl as u8);
                 }
@@ -476,6 +505,8 @@ impl IbSwitch {
                 if let Some(mark) = decision {
                     pkt.code = pkt.code.apply(mark);
                     ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+                    ctx.obs
+                        .mark(ctx.now, self.id.0, port, vl as u8, mark, q_incl);
                     #[cfg(feature = "audit")]
                     ctx.audit.note_mark(
                         ctx.now,
@@ -486,6 +517,7 @@ impl IbSwitch {
                         self.ports[port as usize].det[vl].port_state(),
                     );
                 }
+                self.obs_note_state(ctx, port, vl as u8);
                 #[cfg(feature = "audit")]
                 self.audit_note_state(ctx, port, vl as u8);
                 self.sync_det_timer(ctx, port, vl as u8);

@@ -50,6 +50,10 @@ pub struct Ctx<'a> {
     /// Recycling allocator for packets; handlers box new packets through
     /// it and return consumed ones to it.
     pub pool: &'a mut PacketPool,
+    /// The observability layer (always compiled; inert at
+    /// [`ObsLevel::Off`](lossless_obs::ObsLevel)): handlers feed it
+    /// control frames, marks, stalls and state transitions.
+    pub obs: &'a mut lossless_obs::Obs,
     /// The invariant auditor (audit builds only); handlers feed it state
     /// transitions, marks, and PFC threshold crossings.
     #[cfg(feature = "audit")]
@@ -80,8 +84,14 @@ pub struct Simulator {
     /// The invariant auditor (audit builds only).
     #[cfg(feature = "audit")]
     audit: crate::audit::Audit,
+    /// Violation count already handed to the flight recorder, so each new
+    /// violation triggers exactly one history dump (audit builds only).
+    #[cfg(feature = "audit")]
+    audit_obs_seen: u64,
     /// Collected measurements.
     pub trace: Trace,
+    /// The observability layer: metrics registry + flight recorder.
+    pub obs: lossless_obs::Obs,
 }
 
 impl Simulator {
@@ -173,13 +183,16 @@ impl Simulator {
             }
         }
 
-        let trace = Trace::new(false);
+        let mut trace = Trace::new(false);
+        trace.max_marks = cfg.max_marks;
+        trace.max_port_samples = cfg.max_port_samples;
         // Trace ticks only do per-sample-port work; with nothing to
         // sample they would be pure event-loop overhead, so skip the
         // whole tick train.
         if cfg.trace_interval.is_some() && !cfg.sample_ports.is_empty() {
             queue.schedule(SimTime::ZERO, Event::TraceTick);
         }
+        let obs = lossless_obs::Obs::new(cfg.obs);
 
         Simulator {
             topo,
@@ -192,7 +205,10 @@ impl Simulator {
             pool: PacketPool::new(),
             #[cfg(feature = "audit")]
             audit: crate::audit::Audit::default(),
+            #[cfg(feature = "audit")]
+            audit_obs_seen: 0,
             trace,
+            obs,
         }
     }
 
@@ -331,16 +347,35 @@ impl Simulator {
             }
             let (now, ev) = self.queue.pop().unwrap();
             self.dispatch(now, ev);
+            // The flight recorder's checkpoint cadence is driven by the
+            // dispatch count (always compiled), so recorder contents are
+            // identical with or without the auditor.
+            self.obs.maybe_checkpoint(now, self.trace.events);
             // Checkpoints run between dispatches, never as scheduled
             // events, so event counts and fingerprints are identical with
             // the auditor on or off.
             #[cfg(feature = "audit")]
             if self.trace.events.is_multiple_of(checkpoint_every) {
-                self.audit_checkpoint();
+                self.checked_audit_checkpoint();
             }
         }
         #[cfg(feature = "audit")]
+        self.checked_audit_checkpoint();
+    }
+
+    /// Run an audit checkpoint and, if it surfaced new violations (Record
+    /// mode — Panic mode never returns), hand the flight-recorder history
+    /// window to the observability layer next to the violation snapshot.
+    #[cfg(feature = "audit")]
+    fn checked_audit_checkpoint(&mut self) {
         self.audit_checkpoint();
+        // A watermark (not a before/after delta) so violations raised by
+        // per-event hooks between checkpoints are dumped too.
+        let total = self.audit.total_violations();
+        if total > self.audit_obs_seen {
+            self.audit_obs_seen = total;
+            self.obs.on_violation(self.queue.now(), total);
+        }
     }
 
     /// Verify every simulation invariant against the current state: packet
@@ -578,6 +613,7 @@ impl Simulator {
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
         self.trace.events += 1;
+        self.obs.dispatched(ev.kind_index());
         // Split borrows: nodes vs the rest of the context.
         macro_rules! ctx {
             () => {
@@ -590,6 +626,7 @@ impl Simulator {
                     trace: &mut self.trace,
                     flows: &self.flows,
                     pool: &mut self.pool,
+                    obs: &mut self.obs,
                     #[cfg(feature = "audit")]
                     audit: &mut self.audit,
                 }
@@ -706,8 +743,33 @@ impl Simulator {
                     paused: false,
                 },
             };
-            self.trace.port_samples.push(s);
+            self.trace.push_port_sample(s);
         }
+    }
+
+    /// A snapshot of the metrics registry with the engine-side counters
+    /// that live outside it (per-kind dispatch counts, packet-pool
+    /// hit/miss, trace drop counters) folded in. Pure read — safe to call
+    /// at any point, typically once after `run*`. Empty when observability
+    /// is off.
+    pub fn obs_registry(&self) -> lossless_obs::Registry {
+        use lossless_obs::Key;
+        let mut reg = self.obs.reg.clone();
+        if self.obs.on() {
+            for (i, name) in Event::KIND_NAMES.iter().enumerate() {
+                reg.set_counter(Key::global(name), self.obs.dispatch_count(i));
+            }
+            let (hits, misses) = self.pool.stats();
+            reg.set_counter(Key::global("pool.hit"), hits);
+            reg.set_counter(Key::global("pool.miss"), misses);
+            reg.set_counter(Key::global("trace.dropped_marks"), self.trace.dropped_marks);
+            reg.set_counter(
+                Key::global("trace.dropped_port_samples"),
+                self.trace.dropped_port_samples,
+            );
+            reg.set_counter(Key::global("engine.events"), self.trace.events);
+        }
+        reg
     }
 }
 

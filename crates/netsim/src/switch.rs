@@ -46,6 +46,9 @@ pub struct EthPort {
     det: Vec<Box<dyn CongestionDetector>>,
     /// Earliest pending detector-timer event per priority.
     det_timer: Vec<Option<SimTime>>,
+    /// Last detector state observed per priority, used to detect Fig.-6
+    /// transitions for the observability layer without polling.
+    last_state: Vec<TernaryState>,
     gate: TxGate,
     /// Cumulative data bytes transmitted (trace sampling).
     pub tx_bytes: u64,
@@ -122,17 +125,23 @@ impl EthSwitch {
         };
         let np = num_prios as usize;
         let ports = (0..n_ports)
-            .map(|p| EthPort {
-                q: (0..np).map(|_| VecDeque::new()).collect(),
-                qbytes: vec![0; np],
-                ctrl: VecDeque::new(),
-                paused: (0..np).map(|_| PfcEgress::new()).collect(),
-                pfc_in: (0..np).map(|_| PfcIngress::new(pfc_cfg)).collect(),
-                pause_epochs: vec![0; np],
-                det: (0..np).map(|pr| mk_det(p as u16, pr as u8)).collect(),
-                det_timer: vec![None; np],
-                gate: TxGate::new(),
-                tx_bytes: 0,
+            .map(|p| {
+                let det: Vec<Box<dyn CongestionDetector>> =
+                    (0..np).map(|pr| mk_det(p as u16, pr as u8)).collect();
+                let last_state = det.iter().map(|d| d.port_state()).collect();
+                EthPort {
+                    q: (0..np).map(|_| VecDeque::new()).collect(),
+                    qbytes: vec![0; np],
+                    ctrl: VecDeque::new(),
+                    paused: (0..np).map(|_| PfcEgress::new()).collect(),
+                    pfc_in: (0..np).map(|_| PfcIngress::new(pfc_cfg)).collect(),
+                    pause_epochs: vec![0; np],
+                    det,
+                    det_timer: vec![None; np],
+                    last_state,
+                    gate: TxGate::new(),
+                    tx_bytes: 0,
+                }
             })
             .collect();
         EthSwitch {
@@ -176,7 +185,22 @@ impl EthSwitch {
         ));
         self.ports[port as usize].ctrl.push_back(frame);
         ctx.trace.pause_frames += 1;
+        ctx.obs.pfc_frame_tx(ctx.now, self.id.0, port, prio, pause);
         self.kick(ctx, port);
+    }
+
+    /// Report a detector state change for `(port, prio)` to the
+    /// observability layer (cheap two-byte compare when nothing changed).
+    // simlint: allow(hot-path-panic) -- (port, prio) validated by the callers' invariants; vecs sized at construction
+    fn obs_note_state(&mut self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
+        let p = &mut self.ports[port as usize];
+        let cur = p.det[prio as usize].port_state();
+        let prev = p.last_state[prio as usize];
+        if cur != prev {
+            p.last_state[prio as usize] = cur;
+            ctx.obs
+                .transition(ctx.now, self.id.0, port, prio, prev, cur);
+        }
     }
 
     /// Re-sync the detector timer for `(port, prio)` with the engine.
@@ -222,6 +246,7 @@ impl EthSwitch {
                 p.det[prio as usize].on_timer(ctx.now, q, backpressured);
             }
         }
+        self.obs_note_state(ctx, port, prio);
         #[cfg(feature = "audit")]
         self.audit_note_state(ctx, port, prio);
         self.sync_det_timer(ctx, port, prio);
@@ -235,6 +260,8 @@ impl EthSwitch {
             let p = &mut self.ports[in_port as usize];
             let changed = p.paused[prio as usize].on_frame(pause);
             if changed {
+                ctx.obs
+                    .pfc_frame_rx(ctx.now, self.id.0, in_port, prio, pause);
                 if pause {
                     p.pause_epochs[prio as usize] += 1;
                     p.det[prio as usize].on_pause(ctx.now);
@@ -243,6 +270,7 @@ impl EthSwitch {
                     self.sync_det_timer(ctx, in_port, prio);
                     self.kick(ctx, in_port);
                 }
+                self.obs_note_state(ctx, in_port, prio);
                 #[cfg(feature = "audit")]
                 self.audit_note_state(ctx, in_port, prio);
             }
@@ -391,6 +419,8 @@ impl EthSwitch {
             if let Some(mark) = decision {
                 pkt.code = pkt.code.apply(mark);
                 ctx.trace.on_mark(ctx.now, self.id, port, pkt.flow, mark);
+                ctx.obs
+                    .mark(ctx.now, self.id.0, port, prio as u8, mark, q_incl);
                 #[cfg(feature = "audit")]
                 ctx.audit.note_mark(
                     ctx.now,
@@ -401,6 +431,7 @@ impl EthSwitch {
                     self.ports[port as usize].det[prio].port_state(),
                 );
             }
+            self.obs_note_state(ctx, port, prio as u8);
             #[cfg(feature = "audit")]
             self.audit_note_state(ctx, port, prio as u8);
             self.sync_det_timer(ctx, port, prio as u8);

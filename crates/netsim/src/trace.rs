@@ -112,6 +112,17 @@ pub struct Trace {
     pub marks: Vec<MarkEvent>,
     /// Whether to record individual [`MarkEvent`]s.
     pub record_marks: bool,
+    /// Retention cap for `marks` (`None` = unbounded). When the cap is
+    /// hit, further records are dropped and counted in `dropped_marks` —
+    /// never silently.
+    pub max_marks: Option<usize>,
+    /// Mark records dropped because `max_marks` was reached.
+    pub dropped_marks: u64,
+    /// Retention cap for `port_samples` (`None` = unbounded), with the
+    /// same counted-drop semantics.
+    pub max_port_samples: Option<usize>,
+    /// Port samples dropped because `max_port_samples` was reached.
+    pub dropped_port_samples: u64,
     /// Individual delivery events (only when `record_deliveries` is on).
     pub deliveries: Vec<DeliveryEvent>,
     /// Whether to record individual [`DeliveryEvent`]s.
@@ -140,10 +151,15 @@ impl Trace {
         }
     }
 
-    /// Record a marking decision at a switch egress.
+    /// Record a marking decision at a switch egress. Past `max_marks`
+    /// retained records the event is counted in `dropped_marks` instead.
     #[inline]
     pub fn on_mark(&mut self, t: SimTime, node: NodeId, port: u16, flow: FlowId, code: CodePoint) {
         if self.record_marks {
+            if self.max_marks.is_some_and(|cap| self.marks.len() >= cap) {
+                self.dropped_marks += 1;
+                return;
+            }
             self.marks.push(MarkEvent {
                 t,
                 node,
@@ -152,6 +168,22 @@ impl Trace {
                 code,
             });
         }
+    }
+
+    /// Append a periodic port sample, honouring `max_port_samples` with
+    /// counted-drop semantics. NOTE: the harness run fingerprint includes
+    /// the retained sample count, so runs compared against uncapped
+    /// goldens must keep the default (`None`).
+    #[inline]
+    pub fn push_port_sample(&mut self, s: PortSample) {
+        if self
+            .max_port_samples
+            .is_some_and(|cap| self.port_samples.len() >= cap)
+        {
+            self.dropped_port_samples += 1;
+            return;
+        }
+        self.port_samples.push(s);
     }
 
     /// Record delivery of a data packet at its destination. (`t` is only
@@ -273,6 +305,47 @@ mod tests {
         assert_eq!(tr.completed().count(), 1);
         let fct = tr.flows[0].fct().unwrap();
         assert_eq!(fct, lossless_flowctl::SimDuration::from_us(100));
+    }
+
+    #[test]
+    fn mark_cap_drops_are_counted_never_silent() {
+        let mut tr = Trace::new(true);
+        tr.max_marks = Some(2);
+        tr.flows.push(rec(0));
+        for i in 0..5 {
+            tr.on_mark(SimTime::from_us(i), NodeId(0), 0, FlowId(0), CodePoint::CE);
+        }
+        assert_eq!(tr.marks.len(), 2);
+        assert_eq!(tr.dropped_marks, 3);
+        // The retained records are the earliest ones.
+        assert_eq!(tr.marks[1].t, SimTime::from_us(1));
+    }
+
+    #[test]
+    fn port_sample_cap_drops_are_counted() {
+        let mut tr = Trace::new(false);
+        tr.max_port_samples = Some(1);
+        let s = PortSample {
+            t: SimTime::ZERO,
+            node: NodeId(0),
+            port: 0,
+            prio: 0,
+            queue_bytes: 0,
+            tx_bytes: 0,
+            state: TernaryState::NonCongestion,
+            paused: false,
+        };
+        tr.push_port_sample(s);
+        tr.push_port_sample(s);
+        assert_eq!(tr.port_samples.len(), 1);
+        assert_eq!(tr.dropped_port_samples, 1);
+        // Unbounded by default.
+        let mut unb = Trace::new(false);
+        for _ in 0..3 {
+            unb.push_port_sample(s);
+        }
+        assert_eq!(unb.port_samples.len(), 3);
+        assert_eq!(unb.dropped_port_samples, 0);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Chrome-trace / Perfetto JSON emission.
+//!
+//! Emits the classic `{"traceEvents": [...]}` format, which both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! ingest directly. The builder maps simulator concepts onto the format's
+//! process/thread hierarchy: one *process* per simulated node, one
+//! *thread* per track (a port's queue-depth counter, its ternary-state
+//! slices, its paused slices, its mark instants).
+//!
+//! Timestamps are microseconds (fractional values are allowed by the
+//! format, so integer picoseconds divide exactly into `f64` µs for any
+//! realistic simulation length).
+
+use lossless_flowctl::SimTime;
+
+use crate::json;
+
+/// Builds a Chrome-trace JSON document event by event.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+fn ts_us(t: SimTime) -> String {
+    json::num_f64(t.as_us_f64())
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name a process (a simulated node).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            json::escape(name)
+        ));
+    }
+
+    /// Name a thread (a track within a node).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+            json::escape(name)
+        ));
+    }
+
+    /// Pin a thread's sort position within its process.
+    pub fn thread_sort_index(&mut self, pid: u32, tid: u32, index: i64) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{index}}}}}"
+        ));
+    }
+
+    /// One point of a counter track ("C" event). The counter's series name
+    /// doubles as the track name.
+    pub fn counter(&mut self, pid: u32, name: &str, t: SimTime, value: u64) {
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"name\":{},\"ts\":{},\"args\":{{\"value\":{value}}}}}",
+            json::escape(name),
+            ts_us(t)
+        ));
+    }
+
+    /// A complete slice ("X" event) spanning `[start, end)` on a track.
+    pub fn slice(&mut self, pid: u32, tid: u32, name: &str, start: SimTime, end: SimTime) {
+        let dur = end.saturating_since(start).as_us_f64();
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{},\"dur\":{}}}",
+            json::escape(name),
+            ts_us(start),
+            json::num_f64(dur)
+        ));
+    }
+
+    /// A thread-scoped instant event ("i").
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, t: SimTime) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"name\":{},\"ts\":{}}}",
+            json::escape(name),
+            ts_us(t)
+        ));
+    }
+
+    /// Render the complete document.
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::with_capacity(self.events.iter().map(|e| e.len() + 2).sum::<usize>() + 64);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Structural schema check for a Chrome-trace document: must parse, must
+/// have a `traceEvents` array, and every event must carry a valid phase
+/// plus the fields that phase requires. Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let has_num = |k: &str| ev.get(k).and_then(|v| v.as_f64()).is_some();
+        let has_str = |k: &str| ev.get(k).and_then(|v| v.as_str()).is_some();
+        if !has_num("pid") {
+            return Err(format!("event {i}: missing pid"));
+        }
+        match ph {
+            "M" => {
+                if !has_str("name") || ev.get("args").is_none() {
+                    return Err(format!("event {i}: bad metadata event"));
+                }
+            }
+            "C" => {
+                if !has_num("ts") || !has_str("name") {
+                    return Err(format!("event {i}: bad counter event"));
+                }
+                let ok = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .is_some();
+                if !ok {
+                    return Err(format!("event {i}: counter without args.value"));
+                }
+            }
+            "X" => {
+                if !has_num("ts") || !has_num("dur") || !has_num("tid") || !has_str("name") {
+                    return Err(format!("event {i}: bad complete slice"));
+                }
+            }
+            "i" => {
+                if !has_num("ts") || !has_num("tid") || !has_str("name") {
+                    return Err(format!("event {i}: bad instant"));
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_valid_trace() {
+        let mut tb = TraceBuilder::new();
+        tb.process_name(3, "node 3 (switch)");
+        tb.thread_name(3, 1, "port 0 / prio 0: state");
+        tb.thread_sort_index(3, 1, 1);
+        tb.counter(3, "queue p0", SimTime::from_us(5), 4096);
+        tb.counter(3, "queue p0", SimTime::from_us(10), 0);
+        tb.slice(
+            3,
+            1,
+            "congestion (1)",
+            SimTime::from_us(5),
+            SimTime::from_us(9),
+        );
+        tb.instant(3, 1, "mark CE", SimTime::from_us(6));
+        let doc = tb.to_json();
+        assert_eq!(validate_chrome_trace(&doc).unwrap(), 7);
+        assert_eq!(tb.len(), 7);
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"C\",\"pid\":1}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"Z\",\"pid\":1}]}").is_err());
+        assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}").unwrap(), 0);
+    }
+
+    #[test]
+    fn sub_microsecond_timestamps_are_fractional() {
+        let mut tb = TraceBuilder::new();
+        tb.counter(1, "q", SimTime::from_ns(1500), 7);
+        assert!(tb.to_json().contains("\"ts\":1.5"));
+    }
+}

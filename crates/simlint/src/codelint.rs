@@ -117,13 +117,14 @@ const HOT_PATH_FILES: [&str; 3] = [
 ];
 
 /// Crates whose code holds or mutates simulation state.
-const STATE_PREFIXES: [&str; 8] = [
+const STATE_PREFIXES: [&str; 9] = [
     "crates/netsim/",
     "crates/flowctl/",
     "crates/cc/",
     "crates/core/",
     "crates/workloads/",
     "crates/stats/",
+    "crates/obs/",
     "crates/simlint/",
     "src/",
 ];
@@ -560,6 +561,7 @@ mod tests {
         assert!(FileClass::classify("crates/simlint/tests/fixtures/bad.rs").skip);
         assert!(FileClass::classify("crates/netsim/src/switch.rs").hot_path);
         assert!(FileClass::classify("crates/netsim/src/routing.rs").state_code);
+        assert!(FileClass::classify("crates/obs/src/metrics.rs").state_code);
         assert!(!FileClass::classify("crates/bench/src/lib.rs").state_code);
         assert!(FileClass::classify("crates/bench/src/lib.rs").wall_clock_ok);
         assert!(FileClass::classify("src/harness.rs").threads_ok);

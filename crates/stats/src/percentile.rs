@@ -16,7 +16,9 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     }
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // total_cmp: NaN sorts last instead of panicking, so exporter inputs
+    // with a stray NaN degrade gracefully.
+    v.sort_by(|a, b| a.total_cmp(b));
     if p == 0.0 {
         return Some(v[0]);
     }
@@ -69,6 +71,18 @@ mod tests {
     fn single_element() {
         assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
         assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // NaN sorts last under total_cmp; finite percentiles still come
+        // from the finite prefix.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
     }
 
     #[test]

@@ -13,10 +13,20 @@ pub struct RatePoint {
 }
 
 /// Differentiate cumulative `(t, tx_bytes)` samples into per-interval
-/// rates. Consecutive samples with non-increasing time are skipped.
+/// rates. Consecutive samples that share a timestamp (a sample taken at an
+/// exact `trace_interval` boundary is emitted for both the closing and the
+/// opening interval) are coalesced to the *last* cumulative value first, so
+/// the boundary sample is neither double-counted nor silently dropped.
 pub fn rate_series(samples: &[(SimTime, u64)]) -> Vec<RatePoint> {
+    let mut dedup: Vec<(SimTime, u64)> = Vec::with_capacity(samples.len());
+    for &(t, b) in samples {
+        match dedup.last_mut() {
+            Some(last) if last.0 == t => last.1 = b,
+            _ => dedup.push((t, b)),
+        }
+    }
     let mut out = Vec::new();
-    for w in samples.windows(2) {
+    for w in dedup.windows(2) {
         let (t0, b0) = w[0];
         let (t1, b1) = w[1];
         if t1 <= t0 {
@@ -85,6 +95,34 @@ mod tests {
         ];
         let r = rate_series(&s);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn boundary_sample_conserves_bytes() {
+        // A sample emitted twice at an exact interval boundary (cumulative
+        // counter advanced in between) must not lose the delta: the total
+        // bytes across all intervals equal the cumulative span.
+        let s = vec![
+            (SimTime::from_us(0), 0u64),
+            (SimTime::from_us(1), 0),
+            (SimTime::from_us(1), 100),
+            (SimTime::from_us(2), 5_100),
+        ];
+        let r = rate_series(&s);
+        assert_eq!(r.len(), 2);
+        let total_bytes: f64 = r.iter().map(|p| p.gbps * 1e9 / 8.0 * 1e-6).sum();
+        assert!((total_bytes - 5_100.0).abs() < 1e-6, "{total_bytes}");
+        // An exact duplicate (same time, same value) is a no-op.
+        let dup = vec![
+            (SimTime::from_us(0), 0u64),
+            (SimTime::from_us(1), 5_000),
+            (SimTime::from_us(1), 5_000),
+            (SimTime::from_us(2), 5_000),
+        ];
+        let rd = rate_series(&dup);
+        assert_eq!(rd.len(), 2);
+        assert!((rd[0].gbps - 40.0).abs() < 1e-9);
+        assert!((rd[1].gbps - 0.0).abs() < 1e-9);
     }
 
     #[test]

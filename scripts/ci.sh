@@ -13,6 +13,21 @@ cargo build --release
 echo "=== tcdsim lint ==="
 ./target/release/tcdsim lint
 
+# Observability exporters, from the unaudited release binary. Both
+# commands self-validate their JSON before writing; the metrics
+# fingerprint must match the committed obs golden, which the audit-on
+# test builds also check — together that proves the audit feature does
+# not perturb observability.
+echo "=== tcdsim trace / metrics (exporter gate) ==="
+./target/release/tcdsim trace fig03 --end-ms 0.6 --out target/ci/trace_fig03.json
+./target/release/tcdsim metrics fig03 --end-ms 0.6 --out target/ci/metrics_fig03.json
+ci_fp=$(grep -o '"fingerprint": "[0-9a-f]*"' target/ci/metrics_fig03.json | grep -o '[0-9a-f]\{16\}')
+golden_fp=$(grep '^registry_fingerprint ' tests/golden/obs_fig03.txt | awk '{print $2}')
+if [ "$ci_fp" != "$golden_fp" ]; then
+    echo "metrics fingerprint $ci_fp != committed golden $golden_fp" >&2
+    exit 1
+fi
+
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 

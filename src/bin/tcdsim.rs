@@ -15,6 +15,7 @@ use std::process::exit;
 use tcd_repro::flowctl::SimTime;
 use tcd_repro::harness::{self, Sweep};
 use tcd_repro::netsim::cchooks::FixedRate;
+use tcd_repro::obs_export;
 use tcd_repro::report;
 use tcd_repro::scenarios::{self, observation, victim, Cc, CcAlgo, Network};
 use tcd_repro::tcd::tree;
@@ -29,6 +30,8 @@ commands:
   fairness   the fairness scenario (Fig. 20)
   trees      reconstruct congestion trees mid-incast (Fig. 5)
   sweep      the victim grid (network x detector x seed) on a worker pool
+  trace      run a named scenario and emit a Chrome/Perfetto trace.json
+  metrics    run a named scenario and emit the metrics registry as JSON
   lint       static analysis: workspace code lint + scenario topology checks
 
 common options:
@@ -40,6 +43,11 @@ common options:
 observe options:   --multi-cp
 fairness options:  --cc dcqcn|timely|ibcc   (default dcqcn)
 trees options:     --at-ms F                (default 1.0)
+trace/metrics:     <scenario>               fig03|fig04|fig12|fig13|ib|ib-tcd
+                   --end-ms F               simulated duration (default 6.0)
+                   --out PATH               output file (default
+                                            results/trace_<scenario>.json or
+                                            results/metrics_<scenario>.json)
 sweep options:     --seeds N                seeds per cell (default 3)
                    --threads N              worker threads (default: TCD_THREADS
                                             or the machine's parallelism; results
@@ -65,9 +73,11 @@ struct Args {
     at_ms: f64,
     seeds: u64,
     threads: usize,
-    out: String,
+    out: Option<String>,
     lint_code: bool,
     lint_topos: Vec<String>,
+    scenario: Option<String>,
+    end_ms: f64,
 }
 
 fn parse() -> Args {
@@ -86,9 +96,11 @@ fn parse() -> Args {
         at_ms: 1.0,
         seeds: 3,
         threads: harness::default_threads(),
-        out: "results".to_string(),
+        out: None,
         lint_code: false,
         lint_topos: Vec::new(),
+        scenario: None,
+        end_ms: 6.0,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -152,7 +164,15 @@ fn parse() -> Args {
                 i += 2;
             }
             "--out" => {
-                a.out = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+                a.out = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--end-ms" => {
+                a.end_ms = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--code" => {
@@ -163,6 +183,10 @@ fn parse() -> Args {
                 a.lint_topos
                     .push(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
+            }
+            s if !s.starts_with('-') && a.scenario.is_none() => {
+                a.scenario = Some(s.to_string());
+                i += 1;
             }
             _ => usage(),
         }
@@ -339,8 +363,9 @@ fn cmd_sweep(a: &Args) {
         ]);
     }
     t.print();
-    let results = format!("{}/sweep.json", a.out);
-    let bench = format!("{}/BENCH_sweep.json", a.out);
+    let out_dir = a.out.as_deref().unwrap_or("results");
+    let results = format!("{out_dir}/sweep.json");
+    let bench = format!("{out_dir}/BENCH_sweep.json");
     rep.write_json(&results).expect("write sweep report");
     rep.write_bench_json(
         &bench,
@@ -365,6 +390,62 @@ fn cmd_sweep(a: &Args) {
         rep.total_events(),
         rep.total_wall_s,
         rep.events_per_sec()
+    );
+}
+
+/// `tcdsim trace <scenario>` / `tcdsim metrics <scenario>`: run a named
+/// observation scenario and write the requested JSON document. Output is
+/// structurally validated before anything touches the filesystem.
+fn cmd_export(a: &Args, metrics: bool) {
+    let known = || {
+        eprintln!("known scenarios:");
+        for (n, d) in obs_export::SCENARIOS {
+            eprintln!("  {n:8} {d}");
+        }
+        exit(2)
+    };
+    let Some(name) = a.scenario.as_deref() else {
+        eprintln!("{}: missing <scenario>", a.cmd);
+        known()
+    };
+    let end = SimTime::from_ps((a.end_ms * 1e9) as u64);
+    let Some(r) = obs_export::run_scenario(name, end) else {
+        eprintln!("{}: unknown scenario `{name}`", a.cmd);
+        known()
+    };
+    let (doc, kind) = if metrics {
+        let doc = obs_export::metrics_json(&r.sim);
+        if let Err(e) = tcd_repro::obs::json::parse(&doc) {
+            eprintln!("metrics: generated invalid JSON ({e}); not writing");
+            exit(1);
+        }
+        (doc, "metrics")
+    } else {
+        let doc = obs_export::perfetto_trace_json(&r.sim);
+        match tcd_repro::obs::perfetto::validate_chrome_trace(&doc) {
+            Ok(n) => println!("trace: {n} Chrome-trace events"),
+            Err(e) => {
+                eprintln!("trace: generated invalid Chrome trace ({e}); not writing");
+                exit(1);
+            }
+        }
+        (doc, "trace")
+    };
+    let path = a
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/{kind}_{name}.json"));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, &doc).expect("write output file");
+    println!(
+        "wrote {path} ({} bytes, {name} over {} ms, {} sim events)",
+        doc.len(),
+        a.end_ms,
+        r.sim.trace.events
     );
 }
 
@@ -445,6 +526,8 @@ fn main() {
         "fairness" => cmd_fairness(&a),
         "trees" => cmd_trees(&a),
         "sweep" => cmd_sweep(&a),
+        "trace" => cmd_export(&a, false),
+        "metrics" => cmd_export(&a, true),
         "lint" => cmd_lint(&a),
         _ => usage(),
     }

@@ -20,6 +20,7 @@
 //! that order (see [`default_threads`]).
 
 use lossless_netsim::Simulator;
+use lossless_stats::export::{json_f64, json_str};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -38,6 +39,10 @@ pub struct RunOutcome {
     /// Named metrics, in insertion order (kept as a `Vec` so report
     /// ordering is exactly the experiment's ordering).
     pub metrics: Vec<(String, f64)>,
+    /// The run's observability metrics registry (empty when observability
+    /// is off). Deterministic, so it merges identically at any thread
+    /// count.
+    pub registry: lossless_obs::Registry,
 }
 
 impl RunOutcome {
@@ -170,6 +175,18 @@ impl SweepReport {
     /// Total events dispatched across all runs.
     pub fn total_events(&self) -> u64 {
         self.results.iter().map(|r| r.outcome.events).sum()
+    }
+
+    /// Merge every run's metrics registry, in submission order. Counters
+    /// and histograms add; gauges take the last writer. The merge order is
+    /// the submission order regardless of which worker ran what, so the
+    /// aggregate (and its fingerprint) is identical at any thread count.
+    pub fn merged_registry(&self) -> lossless_obs::Registry {
+        let mut reg = lossless_obs::Registry::new();
+        for r in &self.results {
+            reg.merge_from(&r.outcome.registry);
+        }
+        reg
     }
 
     /// Aggregate simulator throughput: total events over sweep wall time
@@ -330,6 +347,7 @@ pub fn outcome_of(sim: &Simulator, metrics: Vec<(String, f64)>) -> RunOutcome {
         fingerprint: fingerprint_sim(sim),
         events: sim.trace.events,
         metrics,
+        registry: sim.obs_registry(),
     }
 }
 
@@ -441,34 +459,6 @@ impl Fnv {
     }
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// JSON-safe float formatting (JSON has no NaN/Inf; `{:?}` keeps full
-/// round-trip precision for finite values).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else {
-        "null".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,10 +467,13 @@ mod tests {
         // A deterministic stand-in for a simulator run.
         let mut h = Fnv::new();
         h.write_u64(seed);
+        let mut registry = lossless_obs::Registry::new();
+        registry.add(lossless_obs::Key::global("toy.events"), 100 + seed);
         RunOutcome {
             fingerprint: h.finish(),
             events: 100 + seed,
             metrics: vec![("seed".into(), seed as f64)],
+            registry,
         }
     }
 
@@ -547,9 +540,15 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-        assert_eq!(json_f64(1.5), "1.5");
-        assert_eq!(json_f64(f64::NAN), "null");
+    fn merged_registry_is_submission_ordered_and_thread_invariant() {
+        let a = toy_sweep(9).run(1);
+        let b = toy_sweep(9).run(8);
+        let ra = a.merged_registry();
+        let rb = b.merged_registry();
+        assert_eq!(ra, rb);
+        assert_eq!(ra.fingerprint(), rb.fingerprint());
+        // 9 toy runs, each contributing 100 + seed events.
+        let want: u64 = (0..9).map(|s| 100 + s).sum();
+        assert_eq!(ra.counter(lossless_obs::Key::global("toy.events")), want);
     }
 }

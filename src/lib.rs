@@ -10,11 +10,13 @@
 pub use lossless_cc as cc;
 pub use lossless_flowctl as flowctl;
 pub use lossless_netsim as netsim;
+pub use lossless_obs as obs;
 pub use lossless_stats as stats;
 pub use lossless_workloads as workloads;
 pub use tcd_core as tcd;
 
 pub mod harness;
 pub mod lintspec;
+pub mod obs_export;
 pub mod report;
 pub mod scenarios;

@@ -1,0 +1,250 @@
+//! Observability exporters: Chrome/Perfetto trace JSON and the
+//! self-describing metrics dump for a finished simulator run.
+//!
+//! The trace maps simulator concepts onto the Chrome-trace process/thread
+//! hierarchy: one *process* per simulated node, and per sampled
+//! `(port, prio)` a queue-depth counter track, a ternary-state slice
+//! track, a paused slice track, and a mark-instant track. The resulting
+//! `trace.json` opens directly in `chrome://tracing` or
+//! [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! Everything here is a pure read of the [`Simulator`]'s trace and
+//! registry — exporting never perturbs a run, so fingerprints are
+//! unaffected by whether a trace was written.
+
+use lossless_netsim::trace::PortSample;
+use lossless_netsim::Simulator;
+use lossless_obs::perfetto::TraceBuilder;
+use std::collections::BTreeMap;
+use tcd_core::TernaryState;
+
+/// Track ids within a node's process: per sampled `(port, prio)` the
+/// state track sits at `port*16 + (prio%8)*2 + 1`, the paused track one
+/// above it, and the per-port mark track at `port*16 + 15`. Priorities
+/// collide only above 7, far past the simulated priority counts.
+fn state_tid(port: u16, prio: u8) -> u32 {
+    u32::from(port) * 16 + u32::from(prio % 8) * 2 + 1
+}
+
+fn paused_tid(port: u16, prio: u8) -> u32 {
+    state_tid(port, prio) + 1
+}
+
+fn mark_tid(port: u16) -> u32 {
+    u32::from(port) * 16 + 15
+}
+
+fn state_name(s: TernaryState) -> &'static str {
+    match s.symbol() {
+        '1' => "congestion (1)",
+        '/' => "undetermined (/)",
+        _ => "non-congestion (0)",
+    }
+}
+
+/// Render a finished run as Chrome-trace JSON. Deterministic: track
+/// enumeration follows the sorted `(node, port, prio)` order and sample
+/// order follows the trace.
+pub fn perfetto_trace_json(sim: &Simulator) -> String {
+    let mut tb = TraceBuilder::new();
+
+    // Group port samples by track, preserving per-track time order.
+    let mut tracks: BTreeMap<(u32, u16, u8), Vec<&PortSample>> = BTreeMap::new();
+    for s in &sim.trace.port_samples {
+        tracks
+            .entry((s.node.0, s.port, s.prio))
+            .or_default()
+            .push(s);
+    }
+
+    let mut named_nodes: Vec<u32> = Vec::new();
+    for (&(node, port, prio), samples) in &tracks {
+        if !named_nodes.contains(&node) {
+            named_nodes.push(node);
+            tb.process_name(
+                node,
+                &format!(
+                    "{} (node {node})",
+                    sim.topology().name(lossless_netsim::NodeId(node))
+                ),
+            );
+        }
+        let st = state_tid(port, prio);
+        let pt = paused_tid(port, prio);
+        tb.thread_name(node, st, &format!("p{port}/{prio} state"));
+        tb.thread_sort_index(node, st, i64::from(st));
+        tb.thread_name(node, pt, &format!("p{port}/{prio} paused"));
+        tb.thread_sort_index(node, pt, i64::from(pt));
+
+        let counter = format!("queue p{port}/{prio} (bytes)");
+        for s in samples {
+            tb.counter(node, &counter, s.t, s.queue_bytes);
+        }
+
+        // Run-length encode the sampled ternary state and paused flag into
+        // slices spanning [run start, run end sample].
+        let mut run_start = 0usize;
+        for i in 1..=samples.len() {
+            let run_over = i == samples.len() || samples[i].state != samples[run_start].state;
+            if run_over {
+                tb.slice(
+                    node,
+                    st,
+                    state_name(samples[run_start].state),
+                    samples[run_start].t,
+                    samples[i - 1].t,
+                );
+                run_start = i;
+            }
+        }
+        let mut paused_since: Option<usize> = None;
+        for (i, s) in samples.iter().enumerate() {
+            match (s.paused, paused_since) {
+                (true, None) => paused_since = Some(i),
+                (false, Some(j)) => {
+                    tb.slice(node, pt, "paused", samples[j].t, s.t);
+                    paused_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(j), Some(last)) = (paused_since, samples.last()) {
+            tb.slice(node, pt, "paused", samples[j].t, last.t);
+        }
+    }
+
+    // Mark instants on the sampled ports (marks carry no priority, so the
+    // track is per port). Requires `record_marks(true)` during the run.
+    let sampled_ports: Vec<(u32, u16)> = {
+        let mut v: Vec<(u32, u16)> = tracks.keys().map(|&(n, p, _)| (n, p)).collect();
+        v.dedup();
+        v
+    };
+    let mut mark_tracks_named: Vec<(u32, u16)> = Vec::new();
+    for m in &sim.trace.marks {
+        let key = (m.node.0, m.port);
+        if !sampled_ports.contains(&key) {
+            continue;
+        }
+        if !mark_tracks_named.contains(&key) {
+            mark_tracks_named.push(key);
+            let tid = mark_tid(m.port);
+            tb.thread_name(m.node.0, tid, &format!("p{} marks", m.port));
+            tb.thread_sort_index(m.node.0, tid, i64::from(tid));
+        }
+        tb.instant(
+            m.node.0,
+            mark_tid(m.port),
+            lossless_obs::mark_counter_name(m.code),
+            m.t,
+        );
+    }
+
+    tb.to_json()
+}
+
+/// Render the run's metrics registry (engine counters folded in) as the
+/// self-describing `tcd-metrics-v1` JSON document.
+pub fn metrics_json(sim: &Simulator) -> String {
+    sim.obs_registry().to_json()
+}
+
+/// Scenario names `tcdsim trace`/`tcdsim metrics` accept, with their
+/// meanings. All are observation runs on the Figure-2 topology.
+pub const SCENARIOS: [(&str, &str); 6] = [
+    (
+        "fig03",
+        "CEE, single congestion point, binary detector (Fig. 3)",
+    ),
+    (
+        "fig04",
+        "CEE, multiple congestion points, binary detector (Fig. 4)",
+    ),
+    ("fig12", "CEE, single congestion point, TCD (Fig. 12)"),
+    ("fig13", "CEE, multiple congestion points, TCD (Fig. 13)"),
+    ("ib", "InfiniBand, single congestion point, binary detector"),
+    ("ib-tcd", "InfiniBand, single congestion point, TCD"),
+];
+
+/// Run a named observation scenario for the exporters. `None` for an
+/// unknown name; see [`SCENARIOS`].
+pub fn run_scenario(
+    name: &str,
+    end: lossless_flowctl::SimTime,
+) -> Option<crate::scenarios::observation::Run> {
+    use crate::scenarios::observation::{run, Options};
+    use crate::scenarios::Network;
+    let (network, multi_cp, use_tcd) = match name {
+        "fig03" => (Network::Cee, false, false),
+        "fig04" => (Network::Cee, true, false),
+        "fig12" => (Network::Cee, false, true),
+        "fig13" => (Network::Cee, true, true),
+        "ib" => (Network::Ib, false, false),
+        "ib-tcd" => (Network::Ib, false, true),
+        _ => return None,
+    };
+    Some(run(Options {
+        network,
+        multi_cp,
+        use_tcd,
+        end,
+        ..Default::default()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossless_flowctl::SimTime;
+    use lossless_obs::perfetto::validate_chrome_trace;
+
+    #[test]
+    fn fig03_trace_is_valid_and_has_all_track_kinds() {
+        let r = run_scenario("fig03", SimTime::from_us(600)).expect("known scenario");
+        let doc = perfetto_trace_json(&r.sim);
+        let n = validate_chrome_trace(&doc).expect("valid Chrome trace");
+        assert!(n > 0, "trace must contain events");
+        assert!(doc.contains("queue p"), "queue-depth counter track");
+        assert!(doc.contains("state"), "ternary-state slice track");
+        assert!(doc.contains("\"ph\":\"X\""), "slices present");
+        assert!(doc.contains("\"ph\":\"C\""), "counters present");
+    }
+
+    #[test]
+    fn fig03_metrics_dump_parses_and_self_describes() {
+        let r = run_scenario("fig03", SimTime::from_us(600)).expect("known scenario");
+        let doc = metrics_json(&r.sim);
+        let v = lossless_obs::json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("tcd-metrics-v1")
+        );
+        assert!(v.get("fingerprint").is_some());
+        assert!(v.get("counters").and_then(|c| c.as_arr()).is_some());
+        // The engine counters folded in by obs_registry.
+        assert!(doc.contains("engine.events"));
+        assert!(doc.contains("engine.dispatch.packet_arrival"));
+        assert!(doc.contains("pool.hit"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(run_scenario("nope", SimTime::from_us(100)).is_none());
+    }
+
+    #[test]
+    fn exporting_never_perturbs_the_run() {
+        let a = run_scenario("fig03", SimTime::from_us(400)).expect("known scenario");
+        let _ = perfetto_trace_json(&a.sim);
+        let _ = metrics_json(&a.sim);
+        let b = run_scenario("fig03", SimTime::from_us(400)).expect("known scenario");
+        assert_eq!(
+            crate::harness::fingerprint_sim(&a.sim),
+            crate::harness::fingerprint_sim(&b.sim)
+        );
+        assert_eq!(
+            a.sim.obs_registry().fingerprint(),
+            b.sim.obs_registry().fingerprint()
+        );
+    }
+}
