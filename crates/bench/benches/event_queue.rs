@@ -1,0 +1,68 @@
+//! Hold-model microbenchmark of the event-queue cores: steady-state
+//! pending set of N events, each iteration pops one and schedules a
+//! replacement at `now + delay`. This isolates pure queue cost from
+//! dispatch work, so it is the number to watch when touching
+//! `netsim::event` — the end-to-end engine number lives in
+//! `simulator_scale` and `BENCH_sweep.json`.
+//!
+//! Plain `main` (no criterion): the hold loop is self-timing and the
+//! interesting output is the heap/wheel ratio per pending-set size.
+
+use lossless_flowctl::{SimDuration, SimTime};
+use lossless_netsim::event::{Event, EventQueue, QueueKind};
+use lossless_netsim::topology::NodeId;
+use std::time::Instant;
+
+/// SplitMix64 — the same deterministic generator the simulator uses for
+/// seeding, here driving the hold-model delays.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A delay spanning the simulator's real scales: log-uniform over
+/// ~1 ns .. ~4 µs (serialization times through CC timers).
+fn delay(rng: &mut u64) -> SimDuration {
+    let r = splitmix(rng);
+    let shift = 10 + (r % 13) as u32; // 2^10 .. 2^22 ps
+    SimDuration::from_ps((1u64 << shift) + (r >> 40))
+}
+
+fn hold(kind: QueueKind, pending: usize, iters: u64) -> (f64, SimTime) {
+    let mut q = EventQueue::with_kind(kind);
+    let mut rng = 7u64;
+    for i in 0..pending {
+        q.schedule(
+            SimTime::ZERO + delay(&mut rng),
+            Event::PortTx {
+                node: NodeId(i as u32),
+                port: 0,
+            },
+        );
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let Some((now, ev)) = q.pop() else { break };
+        q.schedule(now + delay(&mut rng), ev);
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    (iters as f64 / wall, q.now())
+}
+
+fn main() {
+    const ITERS: u64 = 2_000_000;
+    for pending in [64usize, 512, 4096, 32768] {
+        let (heap, t_h) = hold(QueueKind::Heap, pending, ITERS);
+        let (wheel, t_w) = hold(QueueKind::Wheel, pending, ITERS);
+        assert_eq!(t_h, t_w, "cores diverged in the hold model");
+        println!(
+            "hold n={pending:>6}: heap {:>7.3}M ops/s | wheel {:>7.3}M ops/s | wheel/heap {:.2}x",
+            heap / 1e6,
+            wheel / 1e6,
+            wheel / heap
+        );
+    }
+}

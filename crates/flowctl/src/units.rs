@@ -54,6 +54,13 @@ impl Rate {
     #[inline]
     pub fn serialize_time(self, bytes: u64) -> SimDuration {
         assert!(self.0 > 0, "cannot serialize at 0 bps");
+        // Fast path: every frame-sized count fits the numerator in u64
+        // (bytes < 2^64 / 8e12 ≈ 2.3 MB), avoiding a 128-bit division on
+        // the per-packet path. Both branches compute the identical
+        // ceiling quotient.
+        if bytes < u64::MAX / 8_000_000_000_000 {
+            return SimDuration((bytes * 8_000_000_000_000).div_ceil(self.0));
+        }
         let num = (bytes as u128) * 8 * 1_000_000_000_000u128;
         let ps = num.div_ceil(self.0 as u128);
         SimDuration(u64::try_from(ps).expect("serialization time overflows u64 ps"))

@@ -1,6 +1,7 @@
 //! Simulation configuration: network mode (CEE vs InfiniBand), congestion
 //! detector selection, endpoint feedback mode, priorities and tracing.
 
+use crate::event::QueueKind;
 use crate::topology::NodeId;
 use lossless_flowctl::cbfc::CbfcConfig;
 use lossless_flowctl::pfc::PfcConfig;
@@ -180,6 +181,10 @@ pub struct SimConfig {
     /// semantics (`Trace::dropped_port_samples`). `None` by default: the
     /// run fingerprint includes the sample count, so capping is opt-in.
     pub max_port_samples: Option<usize>,
+    /// Which event-queue core drives the run. Both cores produce the
+    /// exact same dispatch order (see [`QueueKind`]), so this affects
+    /// throughput only, never traces or fingerprints.
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -207,6 +212,7 @@ impl SimConfig {
             obs: lossless_obs::ObsConfig::default(),
             max_marks: None,
             max_port_samples: None,
+            queue: QueueKind::Auto,
         }
     }
 
@@ -236,6 +242,7 @@ impl SimConfig {
             obs: lossless_obs::ObsConfig::default(),
             max_marks: None,
             max_port_samples: None,
+            queue: QueueKind::Auto,
         }
     }
 

@@ -4,12 +4,37 @@
 //! instant execute in the order they were scheduled, so a run is a pure
 //! function of its configuration. This property underpins every regression
 //! test in the workspace.
+//!
+//! Two cores implement that total order behind [`QueueKind`]:
+//!
+//! - **Timing wheel** (default): a hierarchical calendar queue. Time is
+//!   quantized into ticks of `2^GRAN_BITS` ps; each of the [`LEVELS`]
+//!   levels covers 64× the tick span of the level below, so the wheel
+//!   spans `2^(GRAN_BITS + 6·LEVELS)` ps (~9 min of simulated time) and
+//!   anything later waits in an overflow list. Inserts and pops are O(1)
+//!   amortized — an event cascades down at most once per level as the
+//!   clock approaches it.
+//! - **Binary heap**: the original `BinaryHeap<Reverse<Scheduled>>`, kept
+//!   as a differential reference while the wheel bakes in
+//!   (`TCD_EVENT_QUEUE=heap` selects it at runtime).
+//!
+//! Both cores dispatch same-timestamp groups as a staged batch through
+//! [`EventQueue::pop_batched`], so the engine touches the ordering
+//! structure once per group instead of once per event. The heap core
+//! stages the earliest-timestamp group into a FIFO deque (zero-delay
+//! schedules issued while it drains append to the tail, where their
+//! fresh, larger sequence numbers belong); the wheel core's staged group
+//! is its own sorted current-tick buffer, which serves pops directly and
+//! absorbs zero-delay schedules by ordered insertion. Either way a group
+//! hands out events in exact `(at, seq)` order, so the pop order is
+//! *identical* across cores, event for event — which is what keeps
+//! golden traces and fingerprints bit-stable across cores.
 
 use crate::packet::{FlowId, Packet};
 use crate::topology::NodeId;
 use lossless_flowctl::SimTime;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A simulation event.
 #[derive(Debug)]
@@ -22,7 +47,7 @@ pub enum Event {
         in_port: u16,
         /// The packet. Boxed (and pooled, see
         /// [`PacketPool`](crate::packet::PacketPool)) so the event stays
-        /// pointer-sized on the heap's hot sift paths and the same
+        /// pointer-sized on the queue's hot paths and the same
         /// allocation travels every hop without re-boxing on requeue.
         pkt: Box<Packet>,
     },
@@ -131,28 +156,372 @@ impl Ord for Scheduled {
     }
 }
 
-/// Min-heap of scheduled events with deterministic tie-breaking.
-#[derive(Debug, Default)]
+/// Which core backs an [`EventQueue`]. Both produce the exact same pop
+/// order, so the choice never affects traces or fingerprints — only
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Resolve from the `TCD_EVENT_QUEUE` environment variable at
+    /// construction: `heap` selects the binary heap, anything else
+    /// (including unset) the timing wheel.
+    #[default]
+    Auto,
+    /// The hierarchical timing wheel.
+    Wheel,
+    /// The reference binary heap, kept behind this toggle while the wheel
+    /// bakes in.
+    Heap,
+}
+
+impl QueueKind {
+    fn wants_heap(self) -> bool {
+        match self {
+            QueueKind::Heap => true,
+            QueueKind::Wheel => false,
+            QueueKind::Auto => std::env::var("TCD_EVENT_QUEUE").is_ok_and(|v| v == "heap"),
+        }
+    }
+}
+
+/// Wheel tick width: `2^GRAN_BITS` ps (8 192 ps ≈ 8 ns). Chosen so a
+/// packet serialization delay (200 ns at 40 Gbps) lands level 0: the
+/// hot-path churn of arrivals and port wake-ups inserts straight into the
+/// bottom level with no cascading, while a tick stays short enough that a
+/// same-tick `cur` group is a few dozen events — one cheap sort each.
+/// Exactness does not depend on the tick width: a group is extracted by
+/// `(at, seq)` order within the tick, never by tick alone.
+const GRAN_BITS: u32 = 13;
+/// log2(slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels. Level `l` buckets ticks by bits `[6l, 6l+6)` of
+/// their distance-in-ticks from `elapsed`.
+const LEVELS: usize = 6;
+/// Total tick bits the wheel spans; events further out wait in overflow.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// Cap on the audited causality log (entries beyond it are counted, not
+/// stored).
+#[cfg(feature = "audit")]
+pub(crate) const PAST_LOG_CAP: usize = 64;
+
+/// Hierarchical timing wheel over `Scheduled` entries.
+///
+/// Invariants:
+/// - `cur` holds every stored event with `tick ≤ elapsed`, sorted
+///   *descending* by `(at, seq)` — the queue head pops from the back
+///   with no shifting, and a rare insert at-or-behind the current tick
+///   binary-searches its position;
+/// - an occupied slot at level `l` holds events whose tick is greater
+///   than `elapsed` and differs from it first in bit range `[6l, 6l+6)`;
+///   `overflow` holds events at least `2^WHEEL_BITS` ticks out;
+/// - `elapsed` never exceeds the tick of any event stored in
+///   `slots`/`overflow`, and only ever advances (to the tick of a
+///   then-earliest slot), so slot indices at a level never wrap past the
+///   current position — the lowest set bit of the lowest occupied
+///   level's bitmap names the slot containing the earliest non-`cur`
+///   event.
+#[derive(Debug)]
+struct Wheel {
+    /// Current position, in ticks.
+    elapsed: u64,
+    /// Per-level occupancy bitmaps: bit `s` set ⇔ `slots[l*SLOTS + s]`
+    /// is non-empty.
+    occupied: [u64; LEVELS],
+    /// `LEVELS × SLOTS` buckets, unordered within a bucket.
+    slots: Vec<Vec<Scheduled>>,
+    /// The staged head group (`tick ≤ elapsed`), sorted descending by
+    /// `(at, seq)`.
+    cur: Vec<Scheduled>,
+    /// Events beyond the wheel horizon.
+    overflow: Vec<Scheduled>,
+    len: usize,
+}
+
+impl Wheel {
+    fn new() -> Wheel {
+        Wheel {
+            elapsed: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            cur: Vec::new(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    // simlint: allow(hot-path-panic) -- level < LEVELS because x fits in
+    // WHEEL_BITS = 6*LEVELS bits on that branch, and slot is masked to
+    // SLOTS - 1, so every index is in bounds by construction.
+    fn insert(&mut self, s: Scheduled) {
+        let tick = s.at.as_ps() >> GRAN_BITS;
+        self.len += 1;
+        if tick <= self.elapsed {
+            // Into the staged group: binary-insert to keep it sorted.
+            // Descending order makes the common case (a zero-delay event
+            // at the head timestamp, fresh = largest seq) an insert next
+            // to the back, i.e. a tiny memmove.
+            let pos = self.cur.partition_point(|e| (e.at, e.seq) > (s.at, s.seq));
+            self.cur.insert(pos, s);
+            return;
+        }
+        let x = tick ^ self.elapsed;
+        if x >> WHEEL_BITS != 0 {
+            self.overflow.push(s);
+        } else {
+            let level = ((63 - x.leading_zeros()) / SLOT_BITS) as usize;
+            let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.slots[level * SLOTS + slot].push(s);
+            self.occupied[level] |= 1 << slot;
+        }
+    }
+
+    /// Timestamp of the earliest stored event. Pure: never advances the
+    /// wheel, so it is safe to call with a `limit` in hand and walk away.
+    // simlint: allow(hot-path-panic) -- level is yielded by the 0..LEVELS
+    // range and slot comes from trailing_zeros of a non-zero 64-bit mask.
+    fn peek_min(&self) -> Option<SimTime> {
+        if let Some(s) = self.cur.last() {
+            return Some(s.at);
+        }
+        for level in 0..LEVELS {
+            if self.occupied[level] != 0 {
+                let slot = self.occupied[level].trailing_zeros() as usize;
+                // Slot tick ranges are disjoint and ordered, so the
+                // earliest event wheel-wide lives in this bucket.
+                return self.slots[level * SLOTS + slot].iter().map(|s| s.at).min();
+            }
+        }
+        self.overflow.iter().map(|s| s.at).min()
+    }
+
+    /// Pop the earliest event if its timestamp is ≤ `limit`.
+    fn pop_next(&mut self, limit: SimTime) -> Option<Scheduled> {
+        if self.cur.is_empty() && !self.advance() {
+            return None;
+        }
+        if self.cur.last().is_some_and(|s| s.at > limit) {
+            return None;
+        }
+        let s = self.cur.pop()?;
+        self.len -= 1;
+        Some(s)
+    }
+
+    /// Stage the earliest pending tick group into `cur`, cascading upper
+    /// levels down as the position advances. Returns whether any event is
+    /// staged. Advancing `elapsed` eagerly — possibly past a caller's
+    /// time limit — is safe because `insert` routes anything at or
+    /// behind the new position into the sorted `cur` group.
+    // simlint: allow(hot-path-panic) -- indices are bounded exactly as in
+    // insert/peek_min: level < LEVELS from the range, slot < SLOTS from
+    // trailing_zeros of a u64.
+    fn advance(&mut self) -> bool {
+        loop {
+            if !self.cur.is_empty() {
+                return true;
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                if self.overflow.is_empty() {
+                    return false;
+                }
+                self.rebase_overflow();
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let idx = level * SLOTS + slot;
+            if level == 0 {
+                // A level-0 bucket holds exactly one tick: it becomes the
+                // new staged group (swap recycles cur's old allocation).
+                self.elapsed = (self.elapsed & !(SLOTS as u64 - 1)) | slot as u64;
+                std::mem::swap(&mut self.cur, &mut self.slots[idx]);
+                self.occupied[0] &= !(1u64 << slot);
+                // Descending, so the earliest (at, seq) pops from the
+                // back without shifting. Keys are unique, so unstable is
+                // safe.
+                self.cur.sort_unstable_by_key(|s| Reverse((s.at, s.seq)));
+                return true;
+            }
+            // Cascade: advance to the start of this bucket's tick range
+            // and re-insert its events, which now land at a strictly
+            // lower level (or in `cur`).
+            let shift = SLOT_BITS * level as u32;
+            self.elapsed =
+                (self.elapsed & !((1u64 << (shift + SLOT_BITS)) - 1)) | ((slot as u64) << shift);
+            let mut drained = std::mem::take(&mut self.slots[idx]);
+            self.occupied[level] &= !(1u64 << slot);
+            self.len -= drained.len();
+            for s in drained.drain(..) {
+                self.insert(s);
+            }
+            // Hand the emptied buffer back to the bucket.
+            self.slots[idx] = drained;
+        }
+    }
+
+    /// The wheel is empty but overflow is not: jump `elapsed` to the
+    /// earliest overflow tick and re-distribute.
+    fn rebase_overflow(&mut self) {
+        let min_tick = self
+            .overflow
+            .iter()
+            .map(|s| s.at.as_ps() >> GRAN_BITS)
+            .min()
+            .unwrap_or(self.elapsed);
+        debug_assert!(min_tick >= self.elapsed);
+        self.elapsed = min_tick;
+        let mut drained = std::mem::take(&mut self.overflow);
+        self.len -= drained.len();
+        for s in drained.drain(..) {
+            self.insert(s);
+        }
+        if self.overflow.is_empty() {
+            self.overflow = drained;
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn iter(&self) -> impl Iterator<Item = &Scheduled> {
+        self.cur
+            .iter()
+            .chain(self.slots.iter().flatten())
+            .chain(self.overflow.iter())
+    }
+}
+
+/// One of the two interchangeable ordering cores.
+#[derive(Debug)]
+enum Core {
+    Wheel(Box<Wheel>),
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+}
+
+impl Core {
+    fn insert(&mut self, s: Scheduled) {
+        match self {
+            Core::Wheel(w) => w.insert(s),
+            Core::Heap(h) => h.push(Reverse(s)),
+        }
+    }
+
+    fn peek_min(&self) -> Option<SimTime> {
+        match self {
+            Core::Wheel(w) => w.peek_min(),
+            Core::Heap(h) => h.peek().map(|Reverse(s)| s.at),
+        }
+    }
+
+    /// Move the whole earliest-timestamp group into `batch` in `(at, seq)`
+    /// order — the shared contract both cores honour. Only the heap path
+    /// of [`EventQueue::pop_batched`] stages through here; the wheel's
+    /// sorted `cur` group serves pops directly.
+    fn refill(&mut self, batch: &mut VecDeque<Scheduled>) {
+        match self {
+            Core::Wheel(w) => {
+                let Some(first) = w.pop_next(SimTime::MAX) else {
+                    return;
+                };
+                let t = first.at;
+                batch.push_back(first);
+                while w.peek_min() == Some(t) {
+                    if let Some(s) = w.pop_next(SimTime::MAX) {
+                        batch.push_back(s);
+                    }
+                }
+            }
+            Core::Heap(h) => {
+                let Some(Reverse(first)) = h.pop() else {
+                    return;
+                };
+                let t = first.at;
+                batch.push_back(first);
+                while h.peek().is_some_and(|Reverse(s)| s.at == t) {
+                    if let Some(Reverse(s)) = h.pop() {
+                        batch.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Core::Wheel(w) => w.len,
+            Core::Heap(h) => h.len(),
+        }
+    }
+}
+
+/// Pending-event set with deterministic `(time, seq)` total order and
+/// batched same-timestamp extraction.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    core: Core,
+    /// The group of events at the current head timestamp, staged by
+    /// [`Core::refill`] and handed out FIFO. Heap path only: the wheel
+    /// serves pops straight from its sorted `cur` group.
+    batch: VecDeque<Scheduled>,
+    /// Set from the moment a batch is staged until the next refill. While
+    /// set, `schedule(now, …)` appends to the batch tail: the core holds
+    /// no events at `now` (refill took the whole group), and a fresh
+    /// sequence number is larger than every staged one, so tail order is
+    /// exactly `(at, seq)` order. Never set on the wheel path.
+    in_batch: bool,
     seq: u64,
     now: SimTime,
+    /// How many past-scheduled events were clamped to `now` (release
+    /// builds); surfaced as the `event.clamped_past` metric so causality
+    /// bugs are visible outside audit builds.
+    clamped_past: u64,
     /// Causality-violation log: `(requested time, clock at request)` for
     /// every attempt to schedule into the past. Drained by the auditor at
     /// checkpoints.
     #[cfg(feature = "audit")]
     past_schedules: Vec<(SimTime, SimTime)>,
+    /// Entries not stored in `past_schedules` because the log was at
+    /// [`PAST_LOG_CAP`]; reported (not silently lost) by the auditor.
+    #[cfg(feature = "audit")]
+    past_dropped: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
-    /// Empty queue at t = 0.
+    /// Empty queue at t = 0, core chosen per [`QueueKind::Auto`].
     pub fn new() -> Self {
+        EventQueue::with_kind(QueueKind::Auto)
+    }
+
+    /// Empty queue at t = 0 with an explicit core.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let core = if kind.wants_heap() {
+            Core::Heap(BinaryHeap::new())
+        } else {
+            Core::Wheel(Box::new(Wheel::new()))
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            core,
+            batch: VecDeque::new(),
+            in_batch: false,
             seq: 0,
             now: SimTime::ZERO,
+            clamped_past: 0,
             #[cfg(feature = "audit")]
             past_schedules: Vec::new(),
+            #[cfg(feature = "audit")]
+            past_dropped: 0,
+        }
+    }
+
+    /// Which core backs this queue: `"wheel"` or `"heap"`.
+    pub fn kind(&self) -> &'static str {
+        match self.core {
+            Core::Wheel(_) => "wheel",
+            Core::Heap(_) => "heap",
         }
     }
 
@@ -165,11 +534,16 @@ impl EventQueue {
     /// Schedule `ev` at absolute time `at`. Scheduling in the past is a
     /// logic error: audited builds log it for the auditor's causality
     /// check, plain debug builds assert, and release builds clamp to
-    /// `now` to stay monotonic.
+    /// `now` to stay monotonic — counting every clamp in
+    /// [`clamped_past`](EventQueue::clamped_past).
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         #[cfg(feature = "audit")]
-        if at < self.now && self.past_schedules.len() < 64 {
-            self.past_schedules.push((at, self.now));
+        if at < self.now {
+            if self.past_schedules.len() < PAST_LOG_CAP {
+                self.past_schedules.push((at, self.now));
+            } else {
+                self.past_dropped += 1;
+            }
         }
         #[cfg(not(feature = "audit"))]
         debug_assert!(
@@ -177,15 +551,55 @@ impl EventQueue {
             "scheduling into the past: {at} < {}",
             self.now
         );
-        let at = at.max(self.now);
+        let at = if at < self.now {
+            self.clamped_past += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, ev }));
+        let s = Scheduled { at, seq, ev };
+        if self.in_batch && at == self.now {
+            self.batch.push_back(s);
+        } else {
+            self.core.insert(s);
+        }
     }
 
     /// Pop the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let Reverse(s) = self.heap.pop()?;
+        self.pop_batched(SimTime::MAX)
+    }
+
+    /// Pop the next event if its timestamp is ≤ `limit`, advancing the
+    /// clock; `None` past the limit or when empty. The first pop at a new
+    /// head group stages the whole group in `(at, seq)` order (the
+    /// wheel's sorted `cur`, or the heap's staged `batch`), so
+    /// consecutive same-time pops bypass the ordering structure.
+    pub fn pop_batched(&mut self, limit: SimTime) -> Option<(SimTime, Event)> {
+        let s = if let Core::Wheel(w) = &mut self.core {
+            // The sorted `cur` group plays the batch role directly, and
+            // zero-delay schedules binary-insert into it in `(at, seq)`
+            // position, so the VecDeque staging layer (and the
+            // `in_batch` routing) is bypassed entirely.
+            w.pop_next(limit)?
+        } else {
+            if self.batch.is_empty() {
+                self.in_batch = false;
+                let t = self.core.peek_min()?;
+                if t > limit {
+                    return None;
+                }
+                self.core.refill(&mut self.batch);
+                self.in_batch = true;
+            } else if self.batch.front().is_some_and(|s| s.at > limit) {
+                // A previous run stopped mid-batch and this run's bound
+                // is earlier than the staged timestamp.
+                return None;
+            }
+            self.batch.pop_front()?
+        };
         debug_assert!(s.at >= self.now);
         self.now = s.at;
         Some((s.at, s.ev))
@@ -193,17 +607,26 @@ impl EventQueue {
 
     /// Timestamp of the next event without popping.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+        if let Some(s) = self.batch.front() {
+            return Some(s.at);
+        }
+        self.core.peek_min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.core.len() + self.batch.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// How many past-scheduled events were silently clamped to `now`.
+    /// Always 0 in a causally sound run.
+    pub fn clamped_past(&self) -> u64 {
+        self.clamped_past
     }
 
     /// Drain the log of attempts to schedule into the past.
@@ -212,19 +635,37 @@ impl EventQueue {
         std::mem::take(&mut self.past_schedules)
     }
 
+    /// Number of causality-log entries dropped beyond [`PAST_LOG_CAP`]
+    /// since the last drain; resets on read.
+    #[cfg(feature = "audit")]
+    pub(crate) fn take_past_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.past_dropped)
+    }
+
+    /// All pending entries, staged batch included (those are scheduled
+    /// but not yet dispatched, so e.g. their packets are still in
+    /// flight).
+    #[cfg(feature = "audit")]
+    fn iter_scheduled(&self) -> impl Iterator<Item = &Scheduled> {
+        let core: Box<dyn Iterator<Item = &Scheduled> + '_> = match &self.core {
+            Core::Wheel(w) => Box::new(w.iter()),
+            Core::Heap(h) => Box::new(h.iter().map(|Reverse(s)| s)),
+        };
+        self.batch.iter().chain(core)
+    }
+
     /// Number of pending `PacketArrival` events (packets on the wire).
     #[cfg(feature = "audit")]
     pub(crate) fn packets_in_flight(&self) -> usize {
-        self.heap
-            .iter()
-            .filter(|Reverse(s)| matches!(s.ev, Event::PacketArrival { .. }))
+        self.iter_scheduled()
+            .filter(|s| matches!(s.ev, Event::PacketArrival { .. }))
             .count()
     }
 
     /// Iterate pending packet arrivals as `(receiver, in_port, packet)`.
     #[cfg(feature = "audit")]
     pub(crate) fn packet_arrivals(&self) -> impl Iterator<Item = (NodeId, u16, &Packet)> {
-        self.heap.iter().filter_map(|Reverse(s)| match &s.ev {
+        self.iter_scheduled().filter_map(|s| match &s.ev {
             Event::PacketArrival { node, in_port, pkt } => Some((*node, *in_port, &**pkt)),
             _ => None,
         })
@@ -310,35 +751,44 @@ mod tests {
         }
     }
 
+    fn both_kinds() -> [EventQueue; 2] {
+        [
+            EventQueue::with_kind(QueueKind::Wheel),
+            EventQueue::with_kind(QueueKind::Heap),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_us(3), tx(3, 0));
-        q.schedule(SimTime::from_us(1), tx(1, 0));
-        q.schedule(SimTime::from_us(2), tx(2, 0));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::PortTx { node, .. } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, [1, 2, 3]);
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_us(3), tx(3, 0));
+            q.schedule(SimTime::from_us(1), tx(1, 0));
+            q.schedule(SimTime::from_us(2), tx(2, 0));
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::PortTx { node, .. } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, [1, 2, 3]);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_us(5);
-        for i in 0..10 {
-            q.schedule(t, tx(i, 0));
+        for mut q in both_kinds() {
+            let t = SimTime::from_us(5);
+            for i in 0..10 {
+                q.schedule(t, tx(i, 0));
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::PortTx { node, .. } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::PortTx { node, .. } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[cfg(feature = "audit")]
@@ -354,28 +804,111 @@ mod tests {
         assert!(q.take_past_schedules().is_empty());
     }
 
+    #[cfg(feature = "audit")]
+    #[test]
+    fn past_log_overflow_is_counted_not_lost() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), tx(0, 0));
+        let _ = q.pop();
+        for i in 0..(PAST_LOG_CAP as u32 + 7) {
+            q.schedule(SimTime::from_us(5), tx(i, 0));
+        }
+        assert_eq!(q.take_past_schedules().len(), PAST_LOG_CAP);
+        assert_eq!(q.take_past_dropped(), 7);
+        // Both reset on drain.
+        assert_eq!(q.take_past_dropped(), 0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_clamps_are_counted() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), tx(0, 0));
+        let _ = q.pop();
+        q.schedule(SimTime::from_us(5), tx(1, 0));
+        assert_eq!(q.clamped_past(), 1);
+        // The clamped event runs at `now`, not in the past.
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_us(10));
+    }
+
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_us(2), tx(0, 0));
-        q.schedule(SimTime::from_us(2), tx(1, 0));
-        q.schedule(SimTime::from_us(7), tx(2, 0));
-        let mut last = SimTime::ZERO;
-        while let Some((t, _)) = q.pop() {
-            assert!(t >= last);
-            last = t;
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_us(2), tx(0, 0));
+            q.schedule(SimTime::from_us(2), tx(1, 0));
+            q.schedule(SimTime::from_us(7), tx(2, 0));
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
+            assert_eq!(q.now(), SimTime::from_us(7));
         }
-        assert_eq!(q.now(), SimTime::from_us(7));
     }
 
     #[test]
     fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_us(4), tx(0, 0));
-        assert_eq!(q.peek_time(), Some(SimTime::from_us(4)));
-        assert_eq!(q.now(), SimTime::ZERO);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_us(4), tx(0, 0));
+            assert_eq!(q.peek_time(), Some(SimTime::from_us(4)));
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_batched_respects_limit_and_resumes() {
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_us(1), tx(0, 0));
+            q.schedule(SimTime::from_us(3), tx(1, 0));
+            assert!(q.pop_batched(SimTime::from_us(2)).is_some());
+            // Next event is past the limit: peeking must not advance the
+            // clock or lose the event.
+            assert!(q.pop_batched(SimTime::from_us(2)).is_none());
+            assert_eq!(q.now(), SimTime::from_us(1));
+            assert_eq!(q.len(), 1);
+            // A later bound picks it up.
+            let (t, _) = q.pop_batched(SimTime::from_us(5)).unwrap();
+            assert_eq!(t, SimTime::from_us(3));
+        }
+    }
+
+    #[test]
+    fn zero_delay_schedules_during_a_batch_keep_fifo_order() {
+        for mut q in both_kinds() {
+            let t = SimTime::from_us(1);
+            q.schedule(t, tx(0, 0));
+            q.schedule(t, tx(1, 0));
+            // Pop the first of the pair; the group is now staged.
+            let (now, _) = q.pop().unwrap();
+            assert_eq!(now, t);
+            // A zero-delay schedule lands after the staged remainder.
+            q.schedule(t, tx(2, 0));
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::PortTx { node, .. } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, [1, 2]);
+        }
+    }
+
+    #[test]
+    fn far_future_events_cross_wheel_levels() {
+        let mut q = EventQueue::with_kind(QueueKind::Wheel);
+        // One event per wheel level, plus one beyond the ~9 min horizon.
+        let mut expect = Vec::new();
+        for lvl in 0..7u32 {
+            let at = SimTime::from_ps(1u64 << (GRAN_BITS + SLOT_BITS * lvl));
+            q.schedule(at, tx(lvl, 0));
+            expect.push(at);
+        }
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(times, expect);
+        assert!(q.is_empty());
     }
 
     #[test]

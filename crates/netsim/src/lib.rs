@@ -44,6 +44,7 @@ pub mod trace;
 pub use audit::{Audit, AuditConfig, AuditMode, InvariantFamily, Violation};
 pub use cchooks::{CcAction, CcEvent, RateController};
 pub use config::{DetectorKind, FeedbackMode, SimConfig};
+pub use event::QueueKind;
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::Simulator;
 pub use topology::{NodeId, NodeKind, Topology};

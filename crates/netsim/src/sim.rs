@@ -108,7 +108,7 @@ impl Simulator {
         );
         let routing = Routing::new(&topo, select);
         let mut nodes = Vec::with_capacity(topo.node_count());
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_kind(cfg.queue);
         let seed = cfg.seed;
 
         for n in 0..topo.node_count() as u32 {
@@ -339,13 +339,13 @@ impl Simulator {
         #[cfg(feature = "audit")]
         let checkpoint_every = self.audit.config().checkpoint_every.max(1);
         while !(stop_when_complete && self.trace.completed_count >= total) {
-            let Some(t) = self.queue.peek_time() else {
+            // The batched pop stages the whole same-timestamp group on its
+            // first call at a new time, so the ordering core is consulted
+            // once per distinct timestamp, not once per event; the pop
+            // order is identical either way.
+            let Some((now, ev)) = self.queue.pop_batched(end) else {
                 break;
             };
-            if t > end {
-                break;
-            }
-            let (now, ev) = self.queue.pop().unwrap();
             self.dispatch(now, ev);
             // The flight recorder's checkpoint cadence is driven by the
             // dispatch count (always compiled), so recorder contents are
@@ -401,6 +401,21 @@ impl Simulator {
                 port: u16::MAX,
                 prio: u8::MAX,
                 message: format!("event scheduled at {at}, before the clock ({then})"),
+            });
+        }
+        let past_dropped = self.queue.take_past_dropped();
+        if past_dropped > 0 {
+            self.audit.report(Violation {
+                family: InvariantFamily::Causality,
+                t: now,
+                node: engine,
+                port: u16::MAX,
+                prio: u8::MAX,
+                message: format!(
+                    "{past_dropped} further past-schedules dropped from the causality log \
+                     (cap {})",
+                    crate::event::PAST_LOG_CAP
+                ),
             });
         }
         self.audit.note_check(InvariantFamily::Causality);
@@ -768,6 +783,11 @@ impl Simulator {
                 self.trace.dropped_port_samples,
             );
             reg.set_counter(Key::global("engine.events"), self.trace.events);
+            // Zero in every causally sound run; emitted only when set so
+            // clean-run registry fingerprints are unchanged.
+            if self.queue.clamped_past() > 0 {
+                reg.set_counter(Key::global("event.clamped_past"), self.queue.clamped_past());
+            }
         }
         reg
     }

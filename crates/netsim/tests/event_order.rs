@@ -4,8 +4,8 @@
 //! in the workspace (including the parallel harness's bit-identical
 //! sweeps) reduces to this property.
 
-use lossless_flowctl::SimTime;
-use lossless_netsim::event::{Event, EventQueue};
+use lossless_flowctl::{SimDuration, SimTime};
+use lossless_netsim::event::{Event, EventQueue, QueueKind};
 use lossless_netsim::NodeId;
 use proptest::prelude::*;
 
@@ -84,4 +84,138 @@ proptest! {
             }
         }
     }
+
+    /// Far-future schedules keep the total order on both cores even when
+    /// delays span every wheel level and the overflow list (exponents up
+    /// to 2^50 ps reach past the ~9 min wheel horizon), and level
+    /// boundaries are crossed while popping.
+    #[test]
+    fn far_future_delays_cross_levels_in_order(
+        shifts in proptest::collection::vec(0u32..51, 1..120)
+    ) {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            for (i, &s) in shifts.iter().enumerate() {
+                // 2^s ps plus a small offset so equal exponents still
+                // collide on timestamps now and then.
+                q.schedule(SimTime::from_ps((1u64 << s) + (i as u64 % 3)), tagged(i as u32));
+            }
+            let mut expect: Vec<(u64, u32)> = shifts
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ((1u64 << s) + (i as u64 % 3), i as u32))
+                .collect();
+            expect.sort(); // stable: schedule order within a timestamp
+            let mut got = Vec::new();
+            while let Some((t, ev)) = q.pop() {
+                got.push((t.as_ps(), tag(&ev)));
+            }
+            prop_assert_eq!(&got, &expect, "core {:?} broke the total order", kind);
+        }
+    }
+
+    /// Zero-delay schedules issued *while a same-timestamp batch drains*
+    /// run at that same instant, after everything already queued there —
+    /// on both cores. This is the engine's self-post pattern (a handler
+    /// scheduling follow-up work at `now`).
+    #[test]
+    fn zero_delay_during_batch_drain_stays_fifo(
+        group in 1usize..8,
+        post_counts in proptest::collection::vec(0usize..3, 1..20)
+    ) {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            let t0 = SimTime::from_ns(5);
+            let mut next = 0u32;
+            for _ in 0..group {
+                q.schedule(t0, tagged(next));
+                next += 1;
+            }
+            let mut got = Vec::new();
+            let mut posts = post_counts.clone().into_iter();
+            while let Some((t, ev)) = q.pop() {
+                got.push((t, tag(&ev)));
+                // Mid-drain, post a few zero-delay events at `now`.
+                for _ in 0..posts.next().unwrap_or(0) {
+                    q.schedule(t, tagged(next));
+                    next += 1;
+                }
+            }
+            prop_assert_eq!(got.len(), next as usize);
+            // All at the same instant, in exact schedule order.
+            for (i, &(t, tagv)) in got.iter().enumerate() {
+                prop_assert_eq!(t, t0);
+                prop_assert_eq!(tagv, i as u32, "self-post order broken on {:?}", kind);
+            }
+        }
+    }
+
+    /// Differential equivalence: the wheel and the heap pop the *same*
+    /// `(time, tag)` sequence for any interleaving of schedules (delays
+    /// spanning sub-tick to cross-level magnitudes, including zero),
+    /// plain pops, and time-limited batched pops.
+    #[test]
+    fn wheel_and_heap_pop_identically(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // (delay exponent, extra ps): schedule now + 2^e + extra
+                (0u32..34, 0u64..4).prop_map(|(e, x)| Op::Schedule((1u64 << e) + x)),
+                Just(Op::Schedule(0)),
+                Just(Op::Pop),
+                (0u64..1000).prop_map(Op::PopLimit),
+            ],
+            1..200
+        )
+    ) {
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                Op::Schedule(dps) => {
+                    let ev = |q: &mut EventQueue, i| {
+                        let at = q.now() + SimDuration::from_ps(dps);
+                        q.schedule(at, tagged(i));
+                    };
+                    ev(&mut wheel, next);
+                    ev(&mut heap, next);
+                    next += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(obs(wheel.pop()), obs(heap.pop()));
+                }
+                Op::PopLimit(ns) => {
+                    let lim = SimTime::from_ns(ns);
+                    prop_assert_eq!(obs(wheel.pop_batched(lim)), obs(heap.pop_batched(lim)));
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.now(), heap.now());
+        }
+        // Drain both to the end: still in lock-step.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(obs(&w), obs(&h));
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// One step of the differential schedule/pop interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule a tagged event at `now + delay_ps`.
+    Schedule(u64),
+    /// Unbounded pop.
+    Pop,
+    /// `pop_batched` bounded at the given absolute nanosecond.
+    PopLimit(u64),
+}
+
+/// Project a pop result to comparable `(time, tag)` form.
+fn obs<B: std::borrow::Borrow<Option<(SimTime, Event)>>>(r: B) -> Option<(SimTime, u32)> {
+    r.borrow().as_ref().map(|(t, ev)| (*t, tag(ev)))
 }

@@ -37,6 +37,44 @@ cargo test --workspace --features audit -q
 echo "=== golden fingerprints ==="
 cargo test --test golden_traces -q
 
+# Determinism twins against the legacy heap core: the same golden and
+# determinism suites must pass bit-identically with the event queue's
+# heap backend selected, proving the wheel/heap toggle is invisible to
+# every observable output (the in-process twin test covers wheel-vs-heap
+# in one process; this covers the env-var selection path end to end).
+echo "=== determinism twins (TCD_EVENT_QUEUE=heap) ==="
+TCD_EVENT_QUEUE=heap cargo test -q --test determinism --test golden_traces --test harness_determinism
+
+# Sweep benchmark: refreshes the committed perf record at the repo root.
+# Two gates before the refresh:
+#  - bit-identity: the merged sweep fingerprint must match the committed
+#    record (the grid's results are part of the golden surface);
+#  - perf floor: the fat-tree k=6 wheel throughput must not regress more
+#    than 10% against the committed record.
+echo "=== sweep bench (BENCH_sweep.json) ==="
+./target/release/tcdsim sweep --out target/ci/sweep
+note() { # note <file> <key> -> bare value
+    grep -o "\"$2\": \"[^\"]*\"" "$1" | head -1 | sed 's/.*": "//; s/"//'
+}
+fresh=target/ci/sweep/BENCH_sweep.json
+committed=BENCH_sweep.json
+fp_fresh=$(grep -o '"merged_fingerprint": "[0-9a-f]*"' "$fresh" | grep -o '[0-9a-f]\{16\}')
+fp_committed=$(grep -o '"merged_fingerprint": "[0-9a-f]*"' "$committed" | grep -o '[0-9a-f]\{16\}')
+if [ "$fp_fresh" != "$fp_committed" ]; then
+    echo "sweep fingerprint $fp_fresh != committed $fp_committed" >&2
+    exit 1
+fi
+eps_fresh=$(note "$fresh" fat_tree_k6_wheel_eps)
+eps_committed=$(note "$committed" fat_tree_k6_wheel_eps)
+awk -v new="$eps_fresh" -v old="$eps_committed" 'BEGIN {
+    if (new + 0 < 0.9 * old) {
+        printf "perf floor: fat-tree k=6 wheel %.0f events/s is >10%% below committed %.0f\n", new, old
+        exit 1
+    }
+    printf "perf floor ok: fat-tree k=6 wheel %.0f events/s (committed %.0f)\n", new, old
+}' >&2
+cp "$fresh" "$committed"
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
 

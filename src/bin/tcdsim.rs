@@ -363,24 +363,53 @@ fn cmd_sweep(a: &Args) {
         ]);
     }
     t.print();
+    // Head-to-head single-run throughput on the fat-tree k=6 realistic
+    // workload: the timing-wheel speedup is re-measured on every sweep
+    // and lands in the perf record next to the grid numbers, so the
+    // trajectory in the committed BENCH_sweep.json stays honest. The
+    // fingerprint equality assert doubles as an end-to-end heap/wheel
+    // twin check.
+    println!("timing fat-tree k=6 workload: heap vs wheel...");
+    use tcd_repro::netsim::QueueKind;
+    let (ev_heap, eps_heap, fp_heap) =
+        harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Heap));
+    let (ev_wheel, eps_wheel, fp_wheel) =
+        harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Wheel));
+    assert_eq!(
+        (fp_heap, ev_heap),
+        (fp_wheel, ev_wheel),
+        "heap and wheel cores disagree on the fat-tree k=6 workload"
+    );
+    let heap_note = format!(
+        "{:.3}M events/s ({ev_heap} events, fingerprint {fp_heap:016x})",
+        eps_heap / 1e6
+    );
+    let wheel_note = format!(
+        "{:.3}M events/s ({:.2}x heap, same events + fingerprint)",
+        eps_wheel / 1e6,
+        eps_wheel / eps_heap.max(1.0)
+    );
+    println!("  heap:  {heap_note}\n  wheel: {wheel_note}");
     let out_dir = a.out.as_deref().unwrap_or("results");
     let results = format!("{out_dir}/sweep.json");
     let bench = format!("{out_dir}/BENCH_sweep.json");
     rep.write_json(&results).expect("write sweep report");
+    // The bare-number notes are machine-readable: scripts/ci.sh gates on
+    // fat_tree_k6_wheel_eps against the committed BENCH_sweep.json.
+    let heap_eps = format!("{eps_heap:.0}");
+    let wheel_eps = format!("{eps_wheel:.0}");
+    let speedup = format!("{:.2}", eps_wheel / eps_heap.max(1.0));
+    let k6_fp = format!("{fp_wheel:016x}");
     rep.write_bench_json(
         &bench,
         "tcdsim sweep (victim grid)",
         &[
-            (
-                "hot_path_baseline",
-                "pre-optimization engine (fresh Box per hop, O(all ports) TraceTick): \
-                 fig2 incast ~10.3-10.7 M events/s",
-            ),
-            (
-                "hot_path_current",
-                "packet-pool recycling + O(active ports) TraceTick: \
-                 fig2 incast ~12.3-13.3 M events/s (see simulator_scale bench preamble)",
-            ),
+            ("fat_tree_k6_heap", heap_note.as_str()),
+            ("fat_tree_k6_wheel", wheel_note.as_str()),
+            ("fat_tree_k6_heap_eps", heap_eps.as_str()),
+            ("fat_tree_k6_wheel_eps", wheel_eps.as_str()),
+            ("fat_tree_k6_speedup", speedup.as_str()),
+            ("fat_tree_k6_fingerprint", k6_fp.as_str()),
         ],
     )
     .expect("write bench record");

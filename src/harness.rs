@@ -316,6 +316,32 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Wall-clock throughput of one simulator run. `build` returns a fully
+/// configured simulator that has not run yet; one warm run primes caches
+/// and the allocator, then three identical runs are timed — `run()`
+/// only, so topology and routing construction don't dilute the engine
+/// number — and the fastest is kept, since scheduler and frequency
+/// noise only ever slows a run down. Returns `(events, events_per_sec,
+/// fingerprint)`. Lives here because wall-clock access is confined to
+/// the harness and bench code by the simlint determinism rules.
+pub fn timed_throughput(build: impl Fn() -> Simulator) -> (u64, f64, u64) {
+    let mut warm = build();
+    warm.run();
+    let mut best = f64::INFINITY;
+    let mut sim = warm;
+    for _ in 0..5 {
+        sim = build();
+        let t0 = Instant::now();
+        sim.run();
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    (
+        sim.trace.events,
+        sim.trace.events as f64 / best,
+        fingerprint_sim(&sim),
+    )
+}
+
 /// FNV-1a digest of everything a run observably computed: every flow's
 /// lifecycle record plus the trace's aggregate counters. Two runs with
 /// equal fingerprints delivered the same bytes with the same markings at
