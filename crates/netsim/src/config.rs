@@ -185,6 +185,11 @@ pub struct SimConfig {
     /// exact same dispatch order (see [`QueueKind`]), so this affects
     /// throughput only, never traces or fingerprints.
     pub queue: QueueKind,
+    /// Scheduled fault injection (link flaps, degradation, route
+    /// changes). Empty by default — an empty plan schedules no events,
+    /// so fault-free runs are bit-identical to builds without the
+    /// subsystem.
+    pub fault_plan: crate::fault::FaultPlan,
 }
 
 impl SimConfig {
@@ -213,6 +218,7 @@ impl SimConfig {
             max_marks: None,
             max_port_samples: None,
             queue: QueueKind::Auto,
+            fault_plan: crate::fault::FaultPlan::default(),
         }
     }
 
@@ -243,6 +249,7 @@ impl SimConfig {
             max_marks: None,
             max_port_samples: None,
             queue: QueueKind::Auto,
+            fault_plan: crate::fault::FaultPlan::default(),
         }
     }
 

@@ -99,6 +99,33 @@ pub enum Event {
     },
     /// Periodic trace sampling tick.
     TraceTick,
+    /// A scheduled fault takes the link at `(node, port)` down or brings
+    /// it back up (both directions; see [`crate::fault::FaultPlan`]).
+    LinkState {
+        /// The node whose port identifies the link.
+        node: NodeId,
+        /// The port at `node`.
+        port: u16,
+        /// `true` = link up, `false` = link down.
+        up: bool,
+    },
+    /// A scheduled fault overrides (or restores) the capacity of the link
+    /// at `(node, port)`.
+    LinkRate {
+        /// The node whose port identifies the link.
+        node: NodeId,
+        /// The port at `node`.
+        port: u16,
+        /// `Some` = degraded capacity, `None` = nominal.
+        rate: Option<lossless_flowctl::Rate>,
+    },
+    /// A scheduled fault atomically swaps the routing overrides to the
+    /// given route set (`u32::MAX` reverts to the baseline tables).
+    RouteUpdate {
+        /// Index into [`crate::fault::FaultPlan::route_sets`], or
+        /// `u32::MAX` for the baseline.
+        set: u32,
+    },
 }
 
 impl Event {
@@ -115,12 +142,15 @@ impl Event {
             Event::CcTimer { .. } => 5,
             Event::HostDrain { .. } => 6,
             Event::TraceTick => 7,
+            Event::LinkState { .. } => 8,
+            Event::LinkRate { .. } => 9,
+            Event::RouteUpdate { .. } => 10,
         }
     }
 
     /// Metric names of the event kinds, indexed by
     /// [`Event::kind_index`].
-    pub const KIND_NAMES: [&'static str; 8] = [
+    pub const KIND_NAMES: [&'static str; 11] = [
         "engine.dispatch.packet_arrival",
         "engine.dispatch.port_tx",
         "engine.dispatch.fccl_tick",
@@ -129,6 +159,9 @@ impl Event {
         "engine.dispatch.cc_timer",
         "engine.dispatch.host_drain",
         "engine.dispatch.trace_tick",
+        "engine.dispatch.link_state",
+        "engine.dispatch.link_rate",
+        "engine.dispatch.route_update",
     ];
 }
 

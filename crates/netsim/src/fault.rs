@@ -1,0 +1,289 @@
+//! Deterministic fault injection: link flaps, link-rate degradation and
+//! routing changes, scheduled up front and dispatched through the normal
+//! event queue.
+//!
+//! A [`FaultPlan`] is part of [`crate::config::SimConfig`]; at
+//! construction time the simulator turns every [`FaultEvent`] into a
+//! regular engine event (`LinkState` / `LinkRate` / `RouteUpdate`), so
+//! fault timing obeys the same `(time, seq)` total order as everything
+//! else and runs are bit-reproducible. The runtime side is a
+//! [`LinkState`] table consulted by switches and hosts before putting a
+//! frame on the wire: a downed port holds its queues (the lossless
+//! policy — nothing is dropped, PFC/CBFC state is synchronized by the
+//! held control frames once the port recovers), and a degraded port
+//! serializes at the overridden rate.
+//!
+//! Faults are modelled on DCFIT's methodology: injected link/route churn
+//! is what drives lossless fabrics into the pathological regimes (pause
+//! storms, cyclic back-pressure, deadlock) that a static healthy-fabric
+//! scenario can never reach.
+
+use crate::topology::{NodeId, Topology};
+use lossless_flowctl::{Rate, SimTime};
+
+/// What a single fault event does to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Take the link attached to `(node, port)` down, in both directions.
+    /// In-flight frames already on the wire still arrive; queued frames
+    /// are held at the dark port.
+    LinkDown,
+    /// Bring the link back up; both endpoints immediately re-arm their
+    /// transmitters (held PFC/CBFC control frames go out first, which
+    /// resynchronizes flow-control state).
+    LinkUp,
+    /// Degrade the link to the given capacity, in both directions.
+    Degrade(Rate),
+    /// Restore the link's nominal capacity.
+    Restore,
+    /// Atomically swap the routing overrides to route set `set` of
+    /// [`FaultPlan::route_sets`]; `None` reverts to the baseline tables.
+    RouteChange(Option<usize>),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// The node whose port identifies the affected link (ignored for
+    /// [`FaultKind::RouteChange`]).
+    pub node: NodeId,
+    /// The port at `node` (the peer end is affected symmetrically).
+    pub port: u16,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, immutable schedule of faults, carried in
+/// [`crate::config::SimConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults (any order; the event queue orders them).
+    pub events: Vec<FaultEvent>,
+    /// Named sets of pinned paths (`[src, hop, .., dst]` node sequences)
+    /// that [`FaultKind::RouteChange`] can swap in atomically.
+    pub route_sets: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl FaultPlan {
+    /// True when the plan schedules nothing (the default for every
+    /// pre-existing scenario, keeping their event sequences — and hence
+    /// golden fingerprints — untouched).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule a link flap: down at `down_at`, back up at `up_at`.
+    pub fn flap(&mut self, node: NodeId, port: u16, down_at: SimTime, up_at: SimTime) -> &mut Self {
+        assert!(down_at < up_at, "flap must go down before it comes up");
+        self.events.push(FaultEvent {
+            at: down_at,
+            node,
+            port,
+            kind: FaultKind::LinkDown,
+        });
+        self.events.push(FaultEvent {
+            at: up_at,
+            node,
+            port,
+            kind: FaultKind::LinkUp,
+        });
+        self
+    }
+
+    /// Schedule a rate degradation window: `rate` from `at`, nominal
+    /// again at `restore_at`.
+    pub fn degrade(
+        &mut self,
+        node: NodeId,
+        port: u16,
+        rate: Rate,
+        at: SimTime,
+        restore_at: SimTime,
+    ) -> &mut Self {
+        assert!(at < restore_at, "degradation must end after it starts");
+        self.events.push(FaultEvent {
+            at,
+            node,
+            port,
+            kind: FaultKind::Degrade(rate),
+        });
+        self.events.push(FaultEvent {
+            at: restore_at,
+            node,
+            port,
+            kind: FaultKind::Restore,
+        });
+        self
+    }
+
+    /// Schedule an atomic routing swap to `route_sets[set]` (or back to
+    /// the baseline tables with `None`).
+    pub fn route_change(&mut self, at: SimTime, set: Option<usize>) -> &mut Self {
+        self.events.push(FaultEvent {
+            at,
+            node: NodeId(0),
+            port: 0,
+            kind: FaultKind::RouteChange(set),
+        });
+        self
+    }
+
+    /// A seeded random plan over the candidate `(node, port)` links:
+    /// `n` flap/degrade windows inside `[0, horizon)`, every one paired
+    /// with its recovery so the fabric is healthy again before the
+    /// horizon. Deterministic in `seed` (splitmix64), for property tests.
+    pub fn random(
+        seed: u64,
+        candidates: &[(NodeId, u16)],
+        horizon: SimTime,
+        n: usize,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        if candidates.is_empty() || horizon == SimTime::ZERO {
+            return plan;
+        }
+        let mut s = seed;
+        let mut next = move || {
+            // splitmix64, same generator family the engine seeds
+            // detectors with.
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let span = horizon.as_ps();
+        for _ in 0..n {
+            let (node, port) = candidates[(next() % candidates.len() as u64) as usize];
+            // A window somewhere in the first ~3/4, recovering before the
+            // horizon; at least 1 ps wide.
+            let a = next() % (span * 3 / 4).max(1);
+            let b = a + 1 + next() % (span - a - 1).max(1);
+            let (at, to) = (SimTime::from_ps(a), SimTime::from_ps(b.min(span - 1)));
+            if to <= at {
+                continue;
+            }
+            if next() % 2 == 0 {
+                plan.flap(node, port, at, to);
+            } else {
+                plan.degrade(node, port, Rate::from_gbps(1 + next() % 10), at, to);
+            }
+        }
+        plan
+    }
+}
+
+/// The runtime link table: which ports are currently dark and which
+/// carry a degraded rate. Owned by the simulator and visible to every
+/// node through [`crate::sim::Ctx`].
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    /// `up[node][port]`.
+    up: Vec<Vec<bool>>,
+    /// `rate[node][port]`: `Some` overrides the topology's nominal rate.
+    rate: Vec<Vec<Option<Rate>>>,
+}
+
+impl LinkState {
+    /// All links up at nominal rate.
+    pub fn new(topo: &Topology) -> LinkState {
+        let up = (0..topo.node_count() as u32)
+            .map(|n| vec![true; topo.ports(NodeId(n)).len()])
+            .collect();
+        let rate = (0..topo.node_count() as u32)
+            .map(|n| vec![None; topo.ports(NodeId(n)).len()])
+            .collect();
+        LinkState { up, rate }
+    }
+
+    /// Is `(node, port)` currently able to transmit?
+    pub fn is_up(&self, n: NodeId, port: u16) -> bool {
+        self.up[n.index()][port as usize]
+    }
+
+    /// The current capacity of `(node, port)` given its `nominal` rate.
+    pub fn rate(&self, n: NodeId, port: u16, nominal: Rate) -> Rate {
+        self.rate[n.index()][port as usize].unwrap_or(nominal)
+    }
+
+    /// True when every link is up at nominal rate.
+    pub fn all_healthy(&self) -> bool {
+        self.up.iter().all(|p| p.iter().all(|&u| u))
+            && self.rate.iter().all(|p| p.iter().all(|r| r.is_none()))
+    }
+
+    pub(crate) fn set_up(&mut self, n: NodeId, port: u16, up: bool) {
+        self.up[n.index()][port as usize] = up;
+    }
+
+    pub(crate) fn set_rate(&mut self, n: NodeId, port: u16, rate: Option<Rate>) {
+        self.rate[n.index()][port as usize] = rate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossless_flowctl::SimDuration;
+
+    fn tiny_topo() -> Topology {
+        let mut b = Topology::builder();
+        let s = b.switch("s0");
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        b.link(h0, s, Rate::from_gbps(40), SimDuration::from_us(4));
+        b.link(h1, s, Rate::from_gbps(40), SimDuration::from_us(4));
+        b.build()
+    }
+
+    #[test]
+    fn link_state_tracks_overrides() {
+        let topo = tiny_topo();
+        let mut ls = LinkState::new(&topo);
+        assert!(ls.all_healthy());
+        ls.set_up(NodeId(0), 1, false);
+        assert!(!ls.is_up(NodeId(0), 1));
+        assert!(ls.is_up(NodeId(0), 0));
+        assert!(!ls.all_healthy());
+        ls.set_up(NodeId(0), 1, true);
+        ls.set_rate(NodeId(0), 0, Some(Rate::from_gbps(10)));
+        assert_eq!(
+            ls.rate(NodeId(0), 0, Rate::from_gbps(40)),
+            Rate::from_gbps(10)
+        );
+        assert_eq!(
+            ls.rate(NodeId(0), 1, Rate::from_gbps(40)),
+            Rate::from_gbps(40)
+        );
+        ls.set_rate(NodeId(0), 0, None);
+        assert!(ls.all_healthy());
+    }
+
+    #[test]
+    fn random_plans_pair_every_fault_with_recovery() {
+        let cands: Vec<(NodeId, u16)> = vec![(NodeId(0), 0), (NodeId(0), 1)];
+        let horizon = SimTime::from_ms(2);
+        for seed in 0..32 {
+            let plan = FaultPlan::random(seed, &cands, horizon, 6);
+            let mut downs = 0i64;
+            let mut degrades = 0i64;
+            for ev in &plan.events {
+                assert!(ev.at < horizon, "fault scheduled past the horizon");
+                match ev.kind {
+                    FaultKind::LinkDown => downs += 1,
+                    FaultKind::LinkUp => downs -= 1,
+                    FaultKind::Degrade(_) => degrades += 1,
+                    FaultKind::Restore => degrades -= 1,
+                    FaultKind::RouteChange(_) => {}
+                }
+            }
+            assert_eq!(downs, 0, "every down must pair with an up");
+            assert_eq!(degrades, 0, "every degrade must pair with a restore");
+            // Determinism: the same seed reproduces the same plan.
+            let again = FaultPlan::random(seed, &cands, horizon, 6);
+            assert_eq!(plan.events, again.events);
+        }
+    }
+}

@@ -244,6 +244,11 @@ impl Host {
     /// Ask the engine to run `port_tx` as soon as the NIC could usefully
     /// transmit.
     pub fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        // A downed link transmits nothing; on_link_state re-kicks on
+        // recovery so held queues (and control frames) drain then.
+        if !ctx.links.is_up(self.id, 0) {
+            return;
+        }
         if let Some(at) = self.gate.want(ctx.now) {
             ctx.q.schedule(
                 at,
@@ -267,6 +272,12 @@ impl Host {
     /// The NIC transmitter is (possibly) free: send the next frame.
     pub fn port_tx(&mut self, ctx: &mut Ctx<'_>) {
         if !self.gate.on_event(ctx.now) {
+            return;
+        }
+        // Checked only after the gate consumed the event — returning
+        // earlier would leave the gate believing a PortTx is still
+        // pending and the NIC would never restart after recovery.
+        if !ctx.links.is_up(self.id, 0) {
             return;
         }
         let is_ib = ctx.cfg.is_ib();
@@ -382,7 +393,26 @@ impl Host {
             self.cbfc_tx[pkt.prio as usize].on_send(pkt.size);
         }
         let link = *ctx.topo.link(self.id, 0);
-        let ser = link.rate.serialize_time(pkt.size);
+        // Latent-assumption tripwire: reaching here on a downed link
+        // means a caller skipped the link gate. Surface it as a
+        // structured violation (audited builds) or assert (plain debug
+        // builds), then transmit anyway — the packet stays in flight, so
+        // conservation holds either way.
+        if !ctx.links.is_up(self.id, 0) {
+            #[cfg(feature = "audit")]
+            ctx.audit.report(crate::audit::Violation {
+                family: crate::audit::InvariantFamily::ProtocolLegality,
+                t: ctx.now,
+                node: self.id,
+                port: 0,
+                prio: u8::MAX,
+                message: "transmit scheduled on a downed link".into(),
+            });
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "transmit scheduled on a downed host link");
+        }
+        let rate = ctx.links.rate(self.id, 0, link.rate);
+        let ser = rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
             Event::PacketArrival {
@@ -697,17 +727,21 @@ impl Host {
     /// upstream and reschedule the tick.
     pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, vl: u8) {
         let rx = &self.cbfc_rx[vl as usize];
-        let msg = ctx.pool.boxed(Packet::link_local(
-            PacketKind::Fccl {
-                vl,
-                fccl: rx.fccl(),
-            },
-            FCCL_FRAME_BYTES,
-            ctx.cfg.feedback_prio,
-        ));
         let period = rx.update_period();
-        self.ctrl.push_back(msg);
-        self.kick(ctx);
+        // A dark link carries no credit updates, but the tick train keeps
+        // running so advertisement resumes on recovery.
+        if ctx.links.is_up(self.id, 0) {
+            let msg = ctx.pool.boxed(Packet::link_local(
+                PacketKind::Fccl {
+                    vl,
+                    fccl: rx.fccl(),
+                },
+                FCCL_FRAME_BYTES,
+                ctx.cfg.feedback_prio,
+            ));
+            self.ctrl.push_back(msg);
+            self.kick(ctx);
+        }
         ctx.q.schedule(
             ctx.now + period,
             Event::FcclTick {
@@ -716,6 +750,15 @@ impl Host {
                 vl,
             },
         );
+    }
+
+    /// The NIC's link changed state (fault injection). Hosts are held by
+    /// the lossless policy on failure; on recovery the kick restarts the
+    /// transmitter and held control/feedback/data drain in order.
+    pub fn on_link_state(&mut self, ctx: &mut Ctx<'_>, up: bool) {
+        if up {
+            self.kick(ctx);
+        }
     }
 
     /// Packets currently buffered in this host (control + feedback queue).

@@ -232,6 +232,11 @@ impl IbSwitch {
 
     // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        // A downed link transmits nothing; on_link_state re-kicks on
+        // recovery so held VoQs (and FCCL frames) drain then.
+        if !ctx.links.is_up(self.id, port) {
+            return;
+        }
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
             ctx.q.schedule(
@@ -319,16 +324,21 @@ impl IbSwitch {
     // simlint: allow(hot-path-panic) -- (port, vl) echo back from FcclTick events this switch scheduled; vecs sized at construction
     pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &mut self.ports[port as usize];
-        let fccl = p.rx[vl as usize].fccl();
         let period = p.rx[vl as usize].update_period();
-        let frame = ctx.pool.boxed(Packet::link_local(
-            PacketKind::Fccl { vl, fccl },
-            FCCL_FRAME_BYTES,
-            0,
-        ));
-        p.ctrl.push_back(frame);
-        ctx.obs.fccl_tx(ctx.now, self.id.0, port, vl, fccl);
-        self.kick(ctx, port);
+        // A dark port emits no credit updates (nothing crosses a downed
+        // link), but the tick train keeps running so advertisement
+        // resumes on recovery.
+        if ctx.links.is_up(self.id, port) {
+            let fccl = p.rx[vl as usize].fccl();
+            let frame = ctx.pool.boxed(Packet::link_local(
+                PacketKind::Fccl { vl, fccl },
+                FCCL_FRAME_BYTES,
+                0,
+            ));
+            p.ctrl.push_back(frame);
+            ctx.obs.fccl_tx(ctx.now, self.id.0, port, vl, fccl);
+            self.kick(ctx, port);
+        }
         ctx.q.schedule(
             ctx.now + period,
             Event::FcclTick {
@@ -398,6 +408,12 @@ impl IbSwitch {
     // simlint: allow(hot-path-panic) -- port echoes back from this switch's events; VL/input indices come from vl_order and 0..n_ports scans; head unwraps follow an is_empty check on the same VoQ with no intervening mutation
     pub fn port_tx(&mut self, ctx: &mut Ctx<'_>, port: u16) {
         if !self.ports[port as usize].gate.on_event(ctx.now) {
+            return;
+        }
+        // Checked only after the gate consumed the event — returning
+        // earlier would leave the gate believing a PortTx is still
+        // pending and the port would never restart after recovery.
+        if !ctx.links.is_up(self.id, port) {
             return;
         }
 
@@ -537,7 +553,26 @@ impl IbSwitch {
     // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
-        let ser = link.rate.serialize_time(pkt.size);
+        // Latent-assumption tripwire: reaching here on a downed link
+        // means a caller skipped the link gate. Surface it as a
+        // structured violation (audited builds) or assert (plain debug
+        // builds), then transmit anyway — the packet stays in flight, so
+        // conservation holds either way.
+        if !ctx.links.is_up(self.id, port) {
+            #[cfg(feature = "audit")]
+            ctx.audit.report(crate::audit::Violation {
+                family: crate::audit::InvariantFamily::ProtocolLegality,
+                t: ctx.now,
+                node: self.id,
+                port,
+                prio: u8::MAX,
+                message: "transmit scheduled on a downed link".into(),
+            });
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "transmit scheduled on a downed link at port {port}");
+        }
+        let rate = ctx.links.rate(self.id, port, link.rate);
+        let ser = rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
             Event::PacketArrival {
@@ -556,6 +591,54 @@ impl IbSwitch {
             },
         );
         gate.note_scheduled(free);
+    }
+
+    /// The link on `port` changed state (fault injection). IB is always
+    /// lossless: on failure every VoQ holds its contents and the credit
+    /// machinery simply stops advertising; on recovery the next FCCL
+    /// tick re-arms the peer and the kick restarts the transmitter.
+    pub fn on_link_state(&mut self, ctx: &mut Ctx<'_>, port: u16, up: bool) {
+        if up {
+            self.kick(ctx, port);
+        }
+    }
+
+    /// Blocked channels for the runtime deadlock watchdog: egress ports
+    /// with backlog they are not allowed to transmit (credit-blocked on
+    /// a VL with queued bytes). Downed links are excluded — they resolve
+    /// on recovery and are not a wait-for dependency.
+    #[cfg(feature = "audit")]
+    // simlint: allow(hot-path-panic) -- vl ranges over blocked.len(); blocked/out_backlog are sized num_vls at construction
+    pub(crate) fn audit_blocked_channels(&self) -> Vec<u16> {
+        let mut v = Vec::new();
+        for (pi, p) in self.ports.iter().enumerate() {
+            let blocked = (0..p.blocked.len()).any(|vl| p.blocked[vl] && p.out_backlog[vl] > 0);
+            if blocked {
+                v.push(pi as u16);
+            }
+        }
+        v
+    }
+
+    /// Wait-for successors of the upstream channel feeding `ingress`:
+    /// the upstream is out of credits because this ingress buffer cannot
+    /// drain, and the bytes occupying it sit in VoQs — indexed by
+    /// ingress structurally — in front of credit-blocked egresses.
+    // simlint: allow(hot-path-panic) -- audit-only path; ingress comes from the topology, which sized the ports vec
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_wait_successors(&self, ingress: u16) -> Vec<u16> {
+        let mut v = Vec::new();
+        let ip = &self.ports[ingress as usize];
+        for vl in 0..ip.voq.len() {
+            for (out, q) in ip.voq[vl].iter().enumerate() {
+                if !q.is_empty() && self.ports[out].blocked[vl] {
+                    v.push(out as u16);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// Record the detector's current belief for `(port, vl)` with the

@@ -31,6 +31,7 @@ pub mod audit;
 pub mod cchooks;
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod host;
 pub mod ibswitch;
 pub mod packet;
@@ -45,6 +46,7 @@ pub use audit::{Audit, AuditConfig, AuditMode, InvariantFamily, Violation};
 pub use cchooks::{CcAction, CcEvent, RateController};
 pub use config::{DetectorKind, FeedbackMode, SimConfig};
 pub use event::QueueKind;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkState};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::Simulator;
 pub use topology::{NodeId, NodeKind, Topology};

@@ -158,6 +158,29 @@ impl Routing {
         self.select
     }
 
+    /// Pin the route towards `path.last()` along the explicit node
+    /// sequence `path` (`[src, hop, .., dst]`): at every node on the
+    /// path, the candidate set for that destination collapses to the
+    /// single port facing the next hop. Other destinations are
+    /// untouched, so several pinned paths (one per destination) compose.
+    /// This is how fault-injected route changes (and the deadlock
+    /// scenarios' deliberately cyclic routes) are installed at runtime.
+    ///
+    /// Panics if consecutive path nodes are not directly linked or the
+    /// path's last node is not a host.
+    pub fn apply_path(&mut self, topo: &Topology, path: &[NodeId]) {
+        let Some(&dst) = path.last() else { return };
+        let di = self.dst_index[dst.index()];
+        assert!(di != usize::MAX, "pinned path must end at a host");
+        for w in path.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let p = topo
+                .port_towards(u, v)
+                .unwrap_or_else(|| panic!("pinned path hop {u:?} -> {v:?} is not a link"));
+            self.table[u.index()][di] = vec![p];
+        }
+    }
+
     /// The directed buffer-dependency relation induced by these tables
     /// (DCFIT's channel-dependency graph): channel `a = (u, p)` depends on
     /// channel `b = (v, q)` when `p` delivers into node `v` and, for some

@@ -54,6 +54,10 @@ pub struct Ctx<'a> {
     /// [`ObsLevel::Off`](lossless_obs::ObsLevel)): handlers feed it
     /// control frames, marks, stalls and state transitions.
     pub obs: &'a mut lossless_obs::Obs,
+    /// Runtime link health (fault injection): nodes consult it before
+    /// scheduling a transmission — a downed port holds its queues, a
+    /// degraded one serializes at the overridden rate.
+    pub links: &'a crate::fault::LinkState,
     /// The invariant auditor (audit builds only); handlers feed it state
     /// transitions, marks, and PFC threshold crossings.
     #[cfg(feature = "audit")]
@@ -81,6 +85,12 @@ pub struct Simulator {
     pending_cc: Vec<Option<Box<dyn RateController>>>,
     /// Packet allocation pool shared by all nodes.
     pool: PacketPool,
+    /// Runtime link health table, mutated by fault events.
+    links: crate::fault::LinkState,
+    /// Baseline routing tables, captured lazily at the first
+    /// `RouteUpdate` so route sets always compose from (and revert to)
+    /// the pristine tables.
+    base_routing: Option<Routing>,
     /// The invariant auditor (audit builds only).
     #[cfg(feature = "audit")]
     audit: crate::audit::Audit,
@@ -192,6 +202,48 @@ impl Simulator {
         if cfg.trace_interval.is_some() && !cfg.sample_ports.is_empty() {
             queue.schedule(SimTime::ZERO, Event::TraceTick);
         }
+        // Fault plan: turn every scheduled fault into a regular engine
+        // event so flaps, degradations and route changes dispatch in the
+        // same deterministic (time, seq) order as everything else. An
+        // empty plan schedules nothing, keeping fault-free sequence
+        // numbers (and hence fingerprints) bit-identical.
+        for f in &cfg.fault_plan.events {
+            use crate::fault::FaultKind;
+            let ev = match f.kind {
+                FaultKind::LinkDown => Event::LinkState {
+                    node: f.node,
+                    port: f.port,
+                    up: false,
+                },
+                FaultKind::LinkUp => Event::LinkState {
+                    node: f.node,
+                    port: f.port,
+                    up: true,
+                },
+                FaultKind::Degrade(r) => Event::LinkRate {
+                    node: f.node,
+                    port: f.port,
+                    rate: Some(r),
+                },
+                FaultKind::Restore => Event::LinkRate {
+                    node: f.node,
+                    port: f.port,
+                    rate: None,
+                },
+                FaultKind::RouteChange(set) => {
+                    let set = set.map_or(u32::MAX, |s| {
+                        assert!(
+                            s < cfg.fault_plan.route_sets.len(),
+                            "route change references undefined route set {s}"
+                        );
+                        s as u32
+                    });
+                    Event::RouteUpdate { set }
+                }
+            };
+            queue.schedule(f.at, ev);
+        }
+        let links = crate::fault::LinkState::new(&topo);
         let obs = lossless_obs::Obs::new(cfg.obs);
 
         Simulator {
@@ -203,6 +255,8 @@ impl Simulator {
             flows: Vec::new(),
             pending_cc: Vec::new(),
             pool: PacketPool::new(),
+            links,
+            base_routing: None,
             #[cfg(feature = "audit")]
             audit: crate::audit::Audit::default(),
             #[cfg(feature = "audit")]
@@ -224,6 +278,24 @@ impl Simulator {
     #[cfg(feature = "audit")]
     pub fn audit_mut(&mut self) -> &mut crate::audit::Audit {
         &mut self.audit
+    }
+
+    /// Runtime link health (fault injection): which ports are up and
+    /// which carry a degraded-rate override.
+    pub fn links(&self) -> &crate::fault::LinkState {
+        &self.links
+    }
+
+    /// Switch the auditor (when compiled in) from panicking on the first
+    /// invariant violation to recording violations for inspection. A
+    /// no-op without the `audit` feature, so scenario code that
+    /// deliberately provokes violations — e.g. driving a CDC-cyclic
+    /// fabric into PFC deadlock — can call it unconditionally.
+    pub fn record_violations(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.audit.config_mut().mode = crate::audit::AuditMode::Record;
+        }
     }
 
     /// Record individual [`MarkEvent`](crate::trace::MarkEvent)s (off by
@@ -540,6 +612,113 @@ impl Simulator {
             }
         }
         self.audit.note_check(InvariantFamily::ProtocolLegality);
+
+        // (f) Liveness: if no packet was forwarded or delivered since the
+        // previous checkpoint, the network may be wedged. Walk the
+        // hop-by-hop wait-for graph over blocked channels; a cycle is a
+        // genuine PFC/CBFC deadlock (DCFIT-style runtime detection).
+        let progress = self.trace.forwarded_pkts
+            + self
+                .trace
+                .flows
+                .iter()
+                .map(|f| f.delivered.pkts)
+                .sum::<u64>();
+        if self.audit.note_progress(progress) {
+            if let Some(cycle) = self.find_blocked_cycle() {
+                let topo = &self.topo;
+                self.audit
+                    .report_deadlock(now, cycle, |n, p| format!("{}[{p}]", topo.name(n)));
+            }
+        }
+        self.audit.note_check(InvariantFamily::Liveness);
+    }
+
+    /// Search the wait-for graph of *blocked channels* for a cycle.
+    ///
+    /// A blocked channel `(u, p)` is a switch egress holding data it is
+    /// not allowed to transmit (PFC-paused, or out of CBFC credits). It
+    /// waits on a downstream channel `(v, q)` — where `v` is the peer of
+    /// `(u, p)` — iff the buffer `v` is accounting against that ingress
+    /// sits in front of `v`'s blocked egress `q`. For CEE the packets
+    /// remember their ingress (`Packet::in_port`); for IB the VoQ is
+    /// indexed by ingress structurally. A cycle means every channel on it
+    /// waits, transitively, on itself: no event can ever drain them.
+    #[cfg(feature = "audit")]
+    fn find_blocked_cycle(&self) -> Option<Vec<(NodeId, u16)>> {
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut chans: BTreeSet<(NodeId, u16)> = BTreeSet::new();
+        for n in 0..self.topo.node_count() as u32 {
+            let id = NodeId(n);
+            let ports = match &self.nodes[id.index()] {
+                Node::Eth(s) => s.audit_blocked_channels(),
+                Node::Ib(s) => s.audit_blocked_channels(),
+                Node::Host(_) => Vec::new(),
+            };
+            chans.extend(ports.into_iter().map(|p| (id, p)));
+        }
+        if chans.is_empty() {
+            return None;
+        }
+        let mut adj: BTreeMap<(NodeId, u16), Vec<(NodeId, u16)>> = BTreeMap::new();
+        for &(u, p) in &chans {
+            let l = self.topo.link(u, p);
+            let succ = match &self.nodes[l.peer.index()] {
+                Node::Eth(s) => s.audit_wait_successors(l.peer_port),
+                Node::Ib(s) => s.audit_wait_successors(l.peer_port),
+                Node::Host(_) => Vec::new(),
+            };
+            adj.insert(
+                (u, p),
+                succ.into_iter()
+                    .map(|q| (l.peer, q))
+                    .filter(|c| chans.contains(c))
+                    .collect(),
+            );
+        }
+        // Deterministic iterative DFS (white/grey/black) over the sorted
+        // channel set; the first back edge found yields the cycle.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color: BTreeMap<(NodeId, u16), u8> = BTreeMap::new();
+        for &start in &chans {
+            if color.get(&start).copied().unwrap_or(WHITE) != WHITE {
+                continue;
+            }
+            // Stack of (channel, index of next successor to try).
+            let mut stack: Vec<((NodeId, u16), usize)> = vec![(start, 0)];
+            color.insert(start, GREY);
+            while let Some(&(c, i)) = stack.last() {
+                let succs = &adj[&c];
+                if i < succs.len() {
+                    let nxt = succs[i];
+                    if let Some(top) = stack.last_mut() {
+                        top.1 += 1;
+                    }
+                    match color.get(&nxt).copied().unwrap_or(WHITE) {
+                        WHITE => {
+                            color.insert(nxt, GREY);
+                            stack.push((nxt, 0));
+                        }
+                        GREY => {
+                            // Back edge: the cycle is the stack suffix
+                            // from `nxt` to the top.
+                            let from = stack
+                                .iter()
+                                .position(|&(ch, _)| ch == nxt)
+                                .expect("grey channel must be on the DFS stack");
+                            return Some(stack[from..].iter().map(|&(ch, _)| ch).collect());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(c, BLACK);
+                    stack.pop();
+                }
+            }
+        }
+        None
     }
 
     /// Run until the configured end time (or the event queue drains).
@@ -642,6 +821,7 @@ impl Simulator {
                     flows: &self.flows,
                     pool: &mut self.pool,
                     obs: &mut self.obs,
+                    links: &self.links,
                     #[cfg(feature = "audit")]
                     audit: &mut self.audit,
                 }
@@ -714,6 +894,75 @@ impl Simulator {
                         self.queue.schedule(now + dt, Event::TraceTick);
                     }
                 }
+            }
+            Event::LinkState { node, port, up } => {
+                // A link fault affects both directions: mark both
+                // endpoints, then give each a chance to react (shed a
+                // dark egress in lossy mode, restart transmission on
+                // recovery). Frames already serialized onto the wire
+                // still arrive — only new transmissions are gated.
+                let l = *self.topo.link(node, port);
+                self.links.set_up(node, port, up);
+                self.links.set_up(l.peer, l.peer_port, up);
+                self.obs.fault(
+                    now,
+                    node.0,
+                    port,
+                    if up {
+                        "fault.link_up"
+                    } else {
+                        "fault.link_down"
+                    },
+                );
+                let mut ctx = ctx!();
+                for (n, p) in [(node, port), (l.peer, l.peer_port)] {
+                    match &mut self.nodes[n.index()] {
+                        Node::Host(h) => h.on_link_state(&mut ctx, up),
+                        Node::Eth(s) => s.on_link_state(&mut ctx, p, up),
+                        Node::Ib(s) => s.on_link_state(&mut ctx, p, up),
+                    }
+                }
+            }
+            Event::LinkRate { node, port, rate } => {
+                // Rate overrides apply to the next transmission on each
+                // side; in-flight serializations keep the rate they
+                // started with (as on real hardware, where a frame's
+                // clocking is fixed once it starts).
+                let l = *self.topo.link(node, port);
+                self.links.set_rate(node, port, rate);
+                self.links.set_rate(l.peer, l.peer_port, rate);
+                self.obs.fault(
+                    now,
+                    node.0,
+                    port,
+                    if rate.is_some() {
+                        "fault.degrade"
+                    } else {
+                        "fault.restore"
+                    },
+                );
+            }
+            Event::RouteUpdate { set } => {
+                // Swap routing tables atomically at the event boundary:
+                // packets already queued keep flowing, lookups after this
+                // instant see the new tables. Sets always compose from
+                // the pristine baseline so updates never stack.
+                if self.base_routing.is_none() {
+                    self.base_routing = Some(self.routing.clone());
+                }
+                let base = self
+                    .base_routing
+                    .as_ref()
+                    .expect("baseline routing captured above");
+                let mut r = base.clone();
+                if set != u32::MAX {
+                    for path in &self.cfg.fault_plan.route_sets[set as usize] {
+                        r.apply_path(&self.topo, path);
+                    }
+                }
+                self.routing = r;
+                self.obs
+                    .fault(now, u32::MAX, u16::MAX, "fault.route_update");
             }
         }
     }

@@ -161,6 +161,11 @@ impl EthSwitch {
 
     // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn kick(&mut self, ctx: &mut Ctx<'_>, port: u16) {
+        // A downed link transmits nothing; on_link_state re-kicks on
+        // recovery so held queues (and control frames) drain then.
+        if !ctx.links.is_up(self.id, port) {
+            return;
+        }
         let gate = &mut self.ports[port as usize].gate;
         if let Some(at) = gate.want(ctx.now) {
             ctx.q.schedule(
@@ -340,6 +345,12 @@ impl EthSwitch {
         if !self.ports[port as usize].gate.on_event(ctx.now) {
             return;
         }
+        // Checked only after the gate consumed the event — returning
+        // earlier would leave the gate believing a PortTx is still
+        // pending and the port would never restart after recovery.
+        if !ctx.links.is_up(self.id, port) {
+            return;
+        }
 
         // Control frames preempt data and ignore pause state.
         if let Some(frame) = self.ports[port as usize].ctrl.pop_front() {
@@ -454,7 +465,26 @@ impl EthSwitch {
     // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
     fn transmit(&mut self, ctx: &mut Ctx<'_>, port: u16, pkt: Box<Packet>) {
         let link = *ctx.topo.link(self.id, port);
-        let ser = link.rate.serialize_time(pkt.size);
+        // Latent-assumption tripwire: reaching here on a downed link
+        // means a caller skipped the link gate. Surface it as a
+        // structured violation (audited builds) or assert (plain debug
+        // builds), then transmit anyway — the packet stays in flight, so
+        // conservation holds either way.
+        if !ctx.links.is_up(self.id, port) {
+            #[cfg(feature = "audit")]
+            ctx.audit.report(crate::audit::Violation {
+                family: crate::audit::InvariantFamily::ProtocolLegality,
+                t: ctx.now,
+                node: self.id,
+                port,
+                prio: u8::MAX,
+                message: "transmit scheduled on a downed link".into(),
+            });
+            #[cfg(not(feature = "audit"))]
+            debug_assert!(false, "transmit scheduled on a downed link at port {port}");
+        }
+        let rate = ctx.links.rate(self.id, port, link.rate);
+        let ser = rate.serialize_time(pkt.size);
         ctx.q.schedule(
             ctx.now + ser + link.delay,
             Event::PacketArrival {
@@ -473,6 +503,80 @@ impl EthSwitch {
             },
         );
         gate.note_scheduled(free);
+    }
+
+    /// The link on `port` changed state (fault injection). On recovery
+    /// the egress restarts — held control frames (PAUSE/RESUME queued
+    /// while the port was dark) drain first, re-arming the peer's PFC
+    /// state before any data moves. On failure a lossless switch holds
+    /// everything (zero-loss policy); a lossy switch sheds the dark
+    /// egress as counted drops.
+    // simlint: allow(hot-path-panic) -- port indices come from the topology, which sized the ports vec
+    pub fn on_link_state(&mut self, ctx: &mut Ctx<'_>, port: u16, up: bool) {
+        if up {
+            self.kick(ctx, port);
+            return;
+        }
+        if self.drop_tail.is_none() {
+            return; // lossless: hold queues until the link recovers
+        }
+        // Drain the dark egress, keeping byte and ingress accounting
+        // exact. Lossy mode parks the PFC thresholds at u64::MAX, so the
+        // on_dequeue calls can never emit a RESUME here.
+        let np = self.ports[port as usize].q.len();
+        for prio in 0..np {
+            while let Some(pkt) = self.ports[port as usize].q[prio].pop_front() {
+                self.ports[port as usize].qbytes[prio] -= pkt.size;
+                self.buffered -= pkt.size;
+                let pin = &mut self.ports[pkt.in_port as usize].pfc_in[prio];
+                let _ = pin.on_dequeue(pkt.size);
+                ctx.trace.drops += 1;
+                ctx.pool.recycle(pkt);
+            }
+        }
+    }
+
+    /// Blocked channels for the runtime deadlock watchdog: egress ports
+    /// holding data they are not allowed to transmit (PFC-paused on a
+    /// non-empty priority). Downed links are excluded — they resolve on
+    /// recovery and are not a wait-for dependency.
+    #[cfg(feature = "audit")]
+    // simlint: allow(hot-path-panic) -- prio ranges over q.len(); paused/q are sized num_prios at construction
+    pub(crate) fn audit_blocked_channels(&self) -> Vec<u16> {
+        let mut v = Vec::new();
+        for (pi, p) in self.ports.iter().enumerate() {
+            let blocked =
+                (0..p.q.len()).any(|prio| p.paused[prio].is_paused() && !p.q[prio].is_empty());
+            if blocked {
+                v.push(pi as u16);
+            }
+        }
+        v
+    }
+
+    /// Wait-for successors of the upstream channel feeding `ingress`:
+    /// for each priority this switch is currently pausing that upstream
+    /// on, the paused egresses holding at least one packet that entered
+    /// through `ingress` — the buffer share the upstream is being paused
+    /// for sits in front of exactly those egresses.
+    // simlint: allow(hot-path-panic) -- audit-only path; ingress comes from the topology, which sized the ports vec
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_wait_successors(&self, ingress: u16) -> Vec<u16> {
+        let mut v = Vec::new();
+        let np = self.ports[ingress as usize].pfc_in.len();
+        for prio in 0..np {
+            if !self.ports[ingress as usize].pfc_in[prio].is_pausing_upstream() {
+                continue;
+            }
+            for (pi, p) in self.ports.iter().enumerate() {
+                if p.paused[prio].is_paused() && p.q[prio].iter().any(|k| k.in_port == ingress) {
+                    v.push(pi as u16);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// Feed the auditor the detector's current state for `(port, prio)`.

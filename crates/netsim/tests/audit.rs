@@ -13,12 +13,13 @@ use lossless_netsim::{AuditMode, InvariantFamily, Simulator};
 use tcd_core::{CodePoint, TernaryState};
 
 /// Every family the auditor covers, for exhaustive positive assertions.
-const FAMILIES: [InvariantFamily; 5] = [
+const FAMILIES: [InvariantFamily; 6] = [
     InvariantFamily::Conservation,
     InvariantFamily::BufferAccounting,
     InvariantFamily::ProtocolLegality,
     InvariantFamily::StateMachine,
     InvariantFamily::Causality,
+    InvariantFamily::Liveness,
 ];
 
 fn assert_clean_and_thorough(sim: &Simulator) {

@@ -266,6 +266,35 @@ impl Obs {
         });
     }
 
+    /// Record a fault-injection event applied by the engine. `name` is
+    /// the stable counter name (`fault.link_down`, `fault.link_up`,
+    /// `fault.degrade`, `fault.restore`, `fault.route_update`); route
+    /// updates are network-wide and pass `node = u32::MAX`, which counts
+    /// under a global key. Counters are increment-only, so fault-free
+    /// runs carry no `fault.*` keys at all.
+    pub fn fault(&mut self, t: SimTime, node: u32, port: u16, name: &'static str) {
+        if !self.on() {
+            return;
+        }
+        let key = if node == u32::MAX {
+            Key::global(name)
+        } else {
+            Key::new(node, port, 0, name)
+        };
+        self.reg.inc(key);
+        let onset = matches!(name, "fault.link_down" | "fault.degrade");
+        self.rec.push(Record {
+            t,
+            seq: 0,
+            node,
+            port,
+            prio: 0,
+            kind: RecordKind::Fault as u8,
+            a: onset as u64,
+            b: 0,
+        });
+    }
+
     /// Record a packet marked with `cp` at `(node, port, prio)`.
     pub fn mark(
         &mut self,

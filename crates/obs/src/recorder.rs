@@ -31,6 +31,9 @@ pub enum RecordKind {
     Violation = 6,
     /// Packet marked; `a` = code-point byte, `b` = queue depth.
     Mark = 7,
+    /// Fault-injection event applied (link flap, rate change, route
+    /// update); `a` = 1 for onset (down/degrade), 0 for recovery.
+    Fault = 8,
 }
 
 impl RecordKind {
@@ -44,6 +47,7 @@ impl RecordKind {
             5 => RecordKind::Checkpoint,
             6 => RecordKind::Violation,
             7 => RecordKind::Mark,
+            8 => RecordKind::Fault,
             _ => return None,
         })
     }
@@ -58,6 +62,7 @@ impl RecordKind {
             RecordKind::Checkpoint => "checkpoint",
             RecordKind::Violation => "violation",
             RecordKind::Mark => "mark",
+            RecordKind::Fault => "fault",
         }
     }
 }

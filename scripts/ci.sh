@@ -37,13 +37,16 @@ cargo test --workspace --features audit -q
 echo "=== golden fingerprints ==="
 cargo test --test golden_traces -q
 
-# Determinism twins against the legacy heap core: the same golden and
-# determinism suites must pass bit-identically with the event queue's
-# heap backend selected, proving the wheel/heap toggle is invisible to
-# every observable output (the in-process twin test covers wheel-vs-heap
-# in one process; this covers the env-var selection path end to end).
+# Determinism twins against the legacy heap core: the same golden,
+# determinism, fault-injection and deadlock suites must pass
+# bit-identically with the event queue's heap backend selected, proving
+# the wheel/heap toggle is invisible to every observable output — faulted
+# runs included (the in-process twin test covers wheel-vs-heap in one
+# process; this covers the env-var selection path end to end).
 echo "=== determinism twins (TCD_EVENT_QUEUE=heap) ==="
-TCD_EVENT_QUEUE=heap cargo test -q --test determinism --test golden_traces --test harness_determinism
+TCD_EVENT_QUEUE=heap cargo test -q --test determinism --test golden_traces --test harness_determinism \
+    --test fault_injection --test deadlock_runtime
+TCD_EVENT_QUEUE=heap cargo test -q -p lossless-netsim --features audit --test fault_order
 
 # Sweep benchmark: refreshes the committed perf record at the repo root.
 # Two gates before the refresh:

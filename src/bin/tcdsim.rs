@@ -44,6 +44,9 @@ observe options:   --multi-cp
 fairness options:  --cc dcqcn|timely|ibcc   (default dcqcn)
 trees options:     --at-ms F                (default 1.0)
 trace/metrics:     <scenario>               fig03|fig04|fig12|fig13|ib|ib-tcd
+                                            or a fault/deadlock scenario:
+                                            fault-flap-incast|fault-degrade|
+                                            deadlock-triangle|deadlock-recovery
                    --end-ms F               simulated duration (default 6.0)
                    --out PATH               output file (default
                                             results/trace_<scenario>.json or
@@ -429,7 +432,10 @@ fn cmd_export(a: &Args, metrics: bool) {
     let known = || {
         eprintln!("known scenarios:");
         for (n, d) in obs_export::SCENARIOS {
-            eprintln!("  {n:8} {d}");
+            eprintln!("  {n:18} {d}");
+        }
+        for (n, d) in obs_export::FAULT_SCENARIOS {
+            eprintln!("  {n:18} {d}");
         }
         exit(2)
     };
@@ -438,19 +444,25 @@ fn cmd_export(a: &Args, metrics: bool) {
         known()
     };
     let end = SimTime::from_ps((a.end_ms * 1e9) as u64);
-    let Some(r) = obs_export::run_scenario(name, end) else {
-        eprintln!("{}: unknown scenario `{name}`", a.cmd);
-        known()
+    let sim = match obs_export::run_scenario(name, end) {
+        Some(r) => r.sim,
+        None => match obs_export::run_fault_scenario(name, end) {
+            Some(sim) => sim,
+            None => {
+                eprintln!("{}: unknown scenario `{name}`", a.cmd);
+                known()
+            }
+        },
     };
     let (doc, kind) = if metrics {
-        let doc = obs_export::metrics_json(&r.sim);
+        let doc = obs_export::metrics_json(&sim);
         if let Err(e) = tcd_repro::obs::json::parse(&doc) {
             eprintln!("metrics: generated invalid JSON ({e}); not writing");
             exit(1);
         }
         (doc, "metrics")
     } else {
-        let doc = obs_export::perfetto_trace_json(&r.sim);
+        let doc = obs_export::perfetto_trace_json(&sim);
         match tcd_repro::obs::perfetto::validate_chrome_trace(&doc) {
             Ok(n) => println!("trace: {n} Chrome-trace events"),
             Err(e) => {
@@ -474,7 +486,7 @@ fn cmd_export(a: &Args, metrics: bool) {
         "wrote {path} ({} bytes, {name} over {} ms, {} sim events)",
         doc.len(),
         a.end_ms,
-        r.sim.trace.events
+        sim.trace.events
     );
 }
 

@@ -38,7 +38,11 @@ pub const COMMITTED: [&str; 10] = [
 ];
 
 /// Deliberately broken specs (never part of the CI-clean set).
-pub const SEEDED_BAD: [&str; 2] = ["seeded-cyclic-triangle", "seeded-headroom-starved"];
+pub const SEEDED_BAD: [&str; 3] = [
+    "seeded-cyclic-triangle",
+    "seeded-cyclic-square",
+    "seeded-headroom-starved",
+];
 
 /// The paper's default link parameters (40 Gbps, 4 µs).
 fn paper_link() -> (Rate, SimDuration) {
@@ -75,6 +79,37 @@ fn cyclic_triangle() -> TopoSpec {
         (h[1], h[0], vec![h[1], s[1], s[2], s[0], h[0]]),
         (h[2], h[1], vec![h[2], s[2], s[0], s[1], h[1]]),
     ];
+    spec
+}
+
+/// The four-switch variant of the cyclic ring: each host sends two hops
+/// clockwise, so every inter-switch link depends on the next one around
+/// the square. A second, larger CDC cycle for the runtime deadlock suite.
+fn cyclic_square() -> TopoSpec {
+    let mut b = Topology::builder();
+    let (r, d) = paper_link();
+    let s: Vec<_> = (0..4).map(|i| b.switch(format!("s{i}"))).collect();
+    let h: Vec<_> = (0..4).map(|i| b.host(format!("h{i}"))).collect();
+    for i in 0..4 {
+        b.link(h[i], s[i], r, d);
+        b.link(s[i], s[(i + 1) % 4], r, d);
+    }
+    let topo = b.build();
+    let mut spec = TopoSpec::new(
+        "seeded-cyclic-square",
+        topo,
+        default_config(Network::Cee, false, end()),
+        RouteSelect::Ecmp,
+    );
+    spec.route_overrides = (0..4)
+        .map(|i| {
+            (
+                h[i],
+                h[(i + 2) % 4],
+                vec![h[i], s[i], s[(i + 1) % 4], s[(i + 2) % 4], h[(i + 2) % 4]],
+            )
+        })
+        .collect();
     spec
 }
 
@@ -170,6 +205,7 @@ pub fn build(name: &str) -> Option<TopoSpec> {
             Network::Cee.routing(),
         ),
         "seeded-cyclic-triangle" => cyclic_triangle(),
+        "seeded-cyclic-square" => cyclic_square(),
         "seeded-headroom-starved" => headroom_starved(),
         _ => return None,
     };

@@ -192,6 +192,51 @@ pub fn run_scenario(
     }))
 }
 
+/// Fault-injection and deadlock scenario names the exporters also
+/// accept; see [`crate::scenarios::fault`]. The deadlock runs sample
+/// every ring egress, so the exported trace carries the TCD ternary
+/// timeline through wedge formation (and, for the recovery variant,
+/// through the drain after the route revert).
+pub const FAULT_SCENARIOS: [(&str, &str); 4] = [
+    (
+        "fault-flap-incast",
+        "fat-tree incast with the victim edge's uplinks flapping mid-run",
+    ),
+    (
+        "fault-degrade",
+        "dumbbell with the receiver-side link degraded to 10 Gbps mid-transfer",
+    ),
+    (
+        "deadlock-triangle",
+        "3-switch CDC ring driven into genuine runtime PFC deadlock",
+    ),
+    (
+        "deadlock-recovery",
+        "the same ring, routes reverted at end/8 so the fabric drains",
+    ),
+];
+
+/// Run a named fault or deadlock scenario for the exporters. `None` for
+/// an unknown name; see [`FAULT_SCENARIOS`].
+pub fn run_fault_scenario(name: &str, end: lossless_flowctl::SimTime) -> Option<Simulator> {
+    use crate::scenarios::fault;
+    use lossless_flowctl::SimTime;
+    let mut sim = match name {
+        "fault-flap-incast" => fault::flap_incast(end).0,
+        "fault-degrade" => fault::degrade_recovery(end),
+        "deadlock-triangle" => fault::deadlock_ring(3, end, None).sim,
+        "deadlock-recovery" => {
+            fault::deadlock_ring(3, end, Some(SimTime::from_ps(end.as_ps() / 8))).sim
+        }
+        _ => return None,
+    };
+    // The deadlock runs *provoke* a Liveness violation by design; in
+    // audit builds the watchdog must record it, not abort the export.
+    sim.record_violations();
+    sim.run();
+    Some(sim)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +275,30 @@ mod tests {
     #[test]
     fn unknown_scenario_is_rejected() {
         assert!(run_scenario("nope", SimTime::from_us(100)).is_none());
+        assert!(run_fault_scenario("nope", SimTime::from_us(100)).is_none());
+    }
+
+    #[test]
+    fn fault_scenarios_export_tcd_timelines_and_fault_counters() {
+        let sim = run_fault_scenario("fault-degrade", SimTime::from_ms(2)).expect("known");
+        let doc = perfetto_trace_json(&sim);
+        validate_chrome_trace(&doc).expect("valid Chrome trace");
+        assert!(doc.contains("state"), "TCD ternary-state track present");
+        let metrics = metrics_json(&sim);
+        assert!(metrics.contains("fault.degrade"), "onset counter exported");
+        assert!(
+            metrics.contains("fault.restore"),
+            "recovery counter exported"
+        );
+
+        let sim = run_fault_scenario("deadlock-triangle", SimTime::from_us(400)).expect("known");
+        let doc = perfetto_trace_json(&sim);
+        validate_chrome_trace(&doc).expect("valid Chrome trace");
+        assert!(doc.contains("state"), "ring egress timeline present");
+        assert!(
+            metrics_json(&sim).contains("fault.route_update"),
+            "route swap exported"
+        );
     }
 
     #[test]

@@ -1086,3 +1086,174 @@ pub mod fairness {
         }
     }
 }
+
+pub mod fault {
+    //! Fault-injection and runtime-deadlock scenarios (DCFIT-style): link
+    //! flaps and degradations under lossless incast, plus a constructed
+    //! family of CDC-cyclic rings that drive PFC into genuine runtime
+    //! deadlock — the dynamic counterpart of `tcdsim lint`'s static
+    //! cycle analysis, detected at runtime by the auditor's
+    //! stalled-progress watchdog.
+
+    use super::*;
+    use lossless_netsim::topology::{dumbbell, fat_tree, NodeId, Topology};
+
+    /// A fat-tree k=4 incast with the victim edge switch's fabric
+    /// uplinks flapping in the middle of it — every cross-edge flow is
+    /// forced to sit out the dark window behind PFC, so recovery is
+    /// genuinely exercised (ECMP cannot route around the fault).
+    /// Lossless end to end: the flap must cost zero packets. Returns the
+    /// simulator *before* `run()` plus the `(down, up)` window.
+    pub fn flap_incast(end: SimTime) -> (Simulator, (SimTime, SimTime)) {
+        let ft = fat_tree(4, Rate::from_gbps(40), SimDuration::from_us(4));
+        let mut cfg = default_config(Network::Cee, true, end);
+        let down = SimTime::from_ps(end.as_ps() / 8);
+        let up = SimTime::from_ps(end.as_ps() / 3);
+        let edge = ft.edges[0];
+        for &agg in &ft.aggs[..2] {
+            let port = ft
+                .topo
+                .port_towards(edge, agg)
+                .expect("edge0 uplinks to its pod aggs");
+            cfg.fault_plan.flap(edge, port, down, up);
+        }
+        // Sample the TCD state on the victim access port and the flapped
+        // uplinks: the exported timeline shows congestion forming at the
+        // onset and clearing after recovery.
+        cfg.trace_interval = Some(SimDuration::from_us(50));
+        let victim_port = ft
+            .topo
+            .port_towards(edge, ft.hosts[0])
+            .expect("edge0 connects to its first host");
+        cfg.sample_ports = vec![(edge, victim_port, cfg.data_prio)];
+        for &agg in &ft.aggs[..2] {
+            let p = ft.topo.port_towards(edge, agg).expect("edge0 uplink");
+            cfg.sample_ports.push((edge, p, cfg.data_prio));
+        }
+        let mut sim = Simulator::new(ft.topo.clone(), cfg, Network::Cee.routing());
+        let victim = ft.hosts[0];
+        for (i, &src) in ft.hosts.iter().enumerate().skip(1).take(6) {
+            sim.add_flow(
+                src,
+                victim,
+                500_000,
+                SimTime::from_us(i as u64),
+                Box::new(FixedRate::line_rate()),
+            );
+        }
+        (sim, (down, up))
+    }
+
+    /// A dumbbell whose receiver-side link degrades to 10 Gbps for a
+    /// window mid-transfer and then restores: PFC pauses the sender at
+    /// the onset, TCD walks through its congestion states, and the flow
+    /// still completes loss-free. Returns the simulator *before* `run()`.
+    pub fn degrade_recovery(end: SimTime) -> Simulator {
+        let db = dumbbell(Rate::from_gbps(40), SimDuration::from_us(4));
+        let mut cfg = default_config(Network::Cee, true, end);
+        let port = db
+            .topo
+            .port_towards(db.sw, db.h1)
+            .expect("switch connects to h1");
+        cfg.fault_plan.degrade(
+            db.sw,
+            port,
+            Rate::from_gbps(10),
+            SimTime::from_ps(end.as_ps() / 8),
+            SimTime::from_ps(end.as_ps() / 4),
+        );
+        // The degraded egress is where TCD sees congestion come and go.
+        cfg.trace_interval = Some(SimDuration::from_us(20));
+        cfg.sample_ports = vec![(db.sw, port, cfg.data_prio)];
+        let mut sim = Simulator::new(db.topo.clone(), cfg, Network::Cee.routing());
+        sim.add_flow(
+            db.h0,
+            db.h1,
+            4_000_000,
+            SimTime::ZERO,
+            Box::new(FixedRate::line_rate()),
+        );
+        sim
+    }
+
+    /// A constructed runtime-deadlock scenario, ready to run.
+    pub struct DeadlockRing {
+        /// The simulator, *before* `run()` (so callers can tighten the
+        /// auditor's checkpoint cadence first).
+        pub sim: Simulator,
+        /// The ring switches `s0..sn`, in ring order.
+        pub switches: Vec<NodeId>,
+        /// `ring_ports[i]` is the port of `switches[i]` towards
+        /// `switches[(i+1) % n]` — together with `switches` these are
+        /// exactly the channels of the CDC cycle the static analyzer
+        /// flags, and the cycle the runtime watchdog must report.
+        pub ring_ports: Vec<u16>,
+        /// One host per switch.
+        pub hosts: Vec<NodeId>,
+    }
+
+    /// Build an `n`-switch ring (one host each) and drive it toward PFC
+    /// deadlock: route overrides — installed atomically through the
+    /// fault plan's route-change machinery at t = 0 — send every host
+    /// two hops clockwise, so each ring link carries two line-rate flows
+    /// and every inter-switch channel comes to depend on the next one
+    /// around the ring. With `revert_at` set, the routes swap back to
+    /// the (acyclic) shortest paths at that time; reverting before the
+    /// pause cycle closes lets the fabric drain and TCD's states recover
+    /// instead of wedging.
+    ///
+    /// A 2 µs trace tick over every ring egress keeps the event stream
+    /// alive after a wedge (so the auditor's watchdog still runs) and
+    /// records the TCD ternary-state timeline during formation and
+    /// recovery.
+    pub fn deadlock_ring(n: usize, end: SimTime, revert_at: Option<SimTime>) -> DeadlockRing {
+        assert!(
+            n >= 3,
+            "a channel-dependency cycle needs at least 3 switches"
+        );
+        let (r, d) = (Rate::from_gbps(40), SimDuration::from_us(4));
+        let mut b = Topology::builder();
+        let s: Vec<NodeId> = (0..n).map(|i| b.switch(format!("s{i}"))).collect();
+        let h: Vec<NodeId> = (0..n).map(|i| b.host(format!("h{i}"))).collect();
+        for i in 0..n {
+            b.link(h[i], s[i], r, d);
+            b.link(s[i], s[(i + 1) % n], r, d);
+        }
+        let topo = b.build();
+
+        let mut cfg = default_config(Network::Cee, true, end);
+        cfg.feedback = FeedbackMode::None; // fixed-rate senders; marking only
+        let paths: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| vec![h[i], s[i], s[(i + 1) % n], s[(i + 2) % n], h[(i + 2) % n]])
+            .collect();
+        cfg.fault_plan.route_sets.push(paths);
+        cfg.fault_plan.route_change(SimTime::ZERO, Some(0));
+        if let Some(t) = revert_at {
+            cfg.fault_plan.route_change(t, None);
+        }
+        let ring_ports: Vec<u16> = (0..n)
+            .map(|i| topo.port_towards(s[i], s[(i + 1) % n]).expect("ring link"))
+            .collect();
+        cfg.trace_interval = Some(SimDuration::from_us(2));
+        cfg.sample_ports = (0..n)
+            .map(|i| (s[i], ring_ports[i], cfg.data_prio))
+            .collect();
+
+        let mut sim = Simulator::new(topo, cfg, RouteSelect::Ecmp);
+        for i in 0..n {
+            sim.add_flow(
+                h[i],
+                h[(i + 2) % n],
+                r.bytes_in(end.saturating_since(SimTime::ZERO)),
+                SimTime::ZERO,
+                Box::new(FixedRate::line_rate()),
+            );
+        }
+        DeadlockRing {
+            sim,
+            switches: s,
+            ring_ports,
+            hosts: h,
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Static-vs-runtime deadlock cross-check, DCFIT-style: every topology
+//! the static analyzer flags as CDC-cyclic must *actually* deadlock at
+//! runtime under the constructed ring workload — with the auditor's
+//! stalled-progress watchdog reporting exactly the statically predicted
+//! channel cycle — and every committed (clean) topology must never trip
+//! the watchdog, no matter how hard it is driven.
+
+use std::collections::BTreeSet;
+
+use lossless_flowctl::SimTime;
+use lossless_netsim::cchooks::FixedRate;
+use lossless_netsim::topology::NodeId;
+use lossless_netsim::{AuditMode, InvariantFamily, Simulator};
+use simlint::analyze;
+use tcd_repro::lintspec;
+use tcd_repro::scenarios::fault;
+
+/// The seeded CDC-cyclic lint specs and the ring size that reproduces
+/// each at runtime ([`fault::deadlock_ring`] builds the identical
+/// topology, so node names and port numbers line up with the lint spec).
+fn ring_size(name: &str) -> Option<usize> {
+    match name {
+        "seeded-cyclic-triangle" => Some(3),
+        "seeded-cyclic-square" => Some(4),
+        _ => None,
+    }
+}
+
+/// Drive one ring to (attempted) deadlock and return the simulator.
+fn run_ring(n: usize, revert_at: Option<SimTime>) -> fault::DeadlockRing {
+    let mut run = fault::deadlock_ring(n, SimTime::from_ms(5), revert_at);
+    run.sim.audit_mut().config_mut().mode = AuditMode::Record;
+    run.sim.audit_mut().config_mut().checkpoint_every = 256;
+    run.sim.run();
+    run
+}
+
+#[test]
+fn statically_flagged_cycles_deadlock_at_runtime() {
+    for name in lintspec::SEEDED_BAD {
+        let Some(n) = ring_size(name) else { continue };
+
+        // Static verdict: the analyzer flags exactly one channel cycle.
+        let spec = lintspec::build(name).expect("seeded spec builds");
+        let report = analyze(&spec);
+        let diag = report
+            .diags
+            .iter()
+            .find(|d| d.check == "deadlock-cycle")
+            .unwrap_or_else(|| panic!("{name} must be flagged statically"));
+
+        // Runtime verdict: the same ring, actually driven, wedges — and
+        // the watchdog names the cycle.
+        let run = run_ring(n, None);
+        let audit = run.sim.audit();
+        let cycle = audit
+            .deadlock_cycle()
+            .unwrap_or_else(|| panic!("{name}: the watchdog must trip"));
+        assert!(
+            audit
+                .violations()
+                .iter()
+                .any(|v| v.family == InvariantFamily::Liveness),
+            "{name}: the deadlock must surface as a Liveness violation"
+        );
+
+        // The runtime cycle is exactly the ring's channel set...
+        let got: BTreeSet<(NodeId, u16)> = cycle.iter().copied().collect();
+        let want: BTreeSet<(NodeId, u16)> = (0..n)
+            .map(|i| (run.switches[i], run.ring_ports[i]))
+            .collect();
+        assert_eq!(got, want, "{name}: watchdog cycle != ring channels");
+
+        // ...and every hop the watchdog names appears verbatim in the
+        // static diagnostic (same construction order → same names/ports).
+        for i in 0..n {
+            let hop = format!("s{i}[{}]", run.ring_ports[i]);
+            assert!(
+                diag.message.contains(&hop),
+                "{name}: static diag must name runtime hop {hop}: {}",
+                diag.message
+            );
+        }
+
+        // A deadlock means progress genuinely stopped: no deliveries past
+        // the wedge, queues still holding bytes.
+        assert!(
+            audit.checks(InvariantFamily::Liveness) > 0,
+            "{name}: liveness must have been checked"
+        );
+    }
+}
+
+#[test]
+fn reverting_routes_before_the_wedge_recovers() {
+    // Same triangle, but the cyclic routes swap back to shortest paths
+    // early: congestion forms, TCD reacts, and the fabric drains instead
+    // of deadlocking. The watchdog must stay silent.
+    let run = run_ring(3, Some(SimTime::from_us(40)));
+    let audit = run.sim.audit();
+    assert!(
+        audit.deadlock_cycle().is_none(),
+        "recovered run must not deadlock: {:?}",
+        audit.violations()
+    );
+    assert!(
+        audit.is_clean(),
+        "recovered run must stay invariant-clean: {:?}",
+        audit.violations()
+    );
+    assert!(audit.checks(InvariantFamily::Liveness) > 0);
+    // Forward progress resumed after the revert: the run keeps
+    // delivering until the end of the horizon.
+    let delivered: u64 = run.sim.trace.flows.iter().map(|f| f.delivered.pkts).sum();
+    assert!(delivered > 0, "recovered run must deliver");
+    assert_eq!(run.sim.trace.drops, 0, "lossless recovery must not drop");
+}
+
+#[test]
+fn committed_topologies_never_trip_the_watchdog() {
+    // Every committed (statically clean) scenario topology, driven with a
+    // saturating incast at dense checkpoints: the watchdog must run and
+    // must never report a deadlock.
+    for name in lintspec::COMMITTED {
+        let spec = lintspec::build(name).expect("committed name builds");
+        assert!(
+            !analyze(&spec).has_errors(),
+            "{name} must be statically clean"
+        );
+
+        let mut sim = Simulator::new(spec.topo.clone(), spec.config.clone(), spec.select);
+        sim.audit_mut().config_mut().mode = AuditMode::Record;
+        sim.audit_mut().config_mut().checkpoint_every = 1024;
+        let hosts = sim.topology().hosts();
+        let victim = hosts[0];
+        for (i, &src) in hosts.iter().enumerate().skip(1) {
+            sim.add_flow(
+                src,
+                victim,
+                100_000,
+                SimTime::from_us(i as u64 % 7),
+                Box::new(FixedRate::line_rate()),
+            );
+        }
+        sim.run();
+
+        let audit = sim.audit();
+        assert!(
+            audit.checks(InvariantFamily::Liveness) > 0,
+            "{name}: the watchdog must have run"
+        );
+        assert!(
+            !audit
+                .violations()
+                .iter()
+                .any(|v| v.family == InvariantFamily::Liveness),
+            "{name}: clean topology tripped the watchdog: {:?}",
+            audit.violations()
+        );
+        assert!(
+            audit.deadlock_cycle().is_none(),
+            "{name}: clean topology reported a deadlock cycle"
+        );
+    }
+}

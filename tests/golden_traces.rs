@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use lossless_flowctl::{SimDuration, SimTime};
 use lossless_netsim::Simulator;
 use tcd_repro::harness::{self, golden_diff, golden_trace, Sweep};
-use tcd_repro::scenarios::{observation, victim, workload, Cc, CcAlgo, Network};
+use tcd_repro::scenarios::{fault, observation, victim, workload, Cc, CcAlgo, Network};
 
 fn cee_single_cp() -> Simulator {
     observation::run(observation::Options {
@@ -82,16 +82,30 @@ fn fat_tree_k4() -> Simulator {
     .sim
 }
 
+fn fault_flap_incast() -> Simulator {
+    let (mut sim, _window) = fault::flap_incast(SimTime::from_ms(4));
+    sim.run();
+    sim
+}
+
+fn fault_degrade() -> Simulator {
+    let mut sim = fault::degrade_recovery(SimTime::from_ms(4));
+    sim.run();
+    sim
+}
+
 /// A named scenario builder, as committed in golden-file order.
 type Scenario = (&'static str, fn() -> Simulator);
 
 /// The committed conformance scenarios, in golden-file order.
-const SCENARIOS: [Scenario; 5] = [
+const SCENARIOS: [Scenario; 7] = [
     ("cee-single-cp", cee_single_cp),
     ("cee-multi-cp", cee_multi_cp),
     ("ib-single-cp", ib_single_cp),
     ("incast-victim", incast_victim),
     ("fat-tree-k4", fat_tree_k4),
+    ("fault-flap-incast", fault_flap_incast),
+    ("fault-degrade", fault_degrade),
 ];
 
 fn golden_dir() -> PathBuf {
