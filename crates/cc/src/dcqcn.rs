@@ -197,6 +197,7 @@ impl RateController for Dcqcn {
         self.rc = line_rate;
         self.rt = line_rate;
         CcAction {
+            // simlint: allow(hot-path-alloc) -- one-time flow-start setup
             timers: vec![
                 (TIMER_ALPHA, self.cfg.alpha_timer),
                 (TIMER_INCREASE, self.cfg.increase_timer),
@@ -212,6 +213,7 @@ impl RateController for Dcqcn {
                         self.cut();
                         // Restart both timers after a cut.
                         CcAction {
+                            // simlint: allow(hot-path-alloc) -- two-element timer list per rate cut, bounded by feedback frequency
                             timers: vec![
                                 (TIMER_ALPHA, self.cfg.alpha_timer),
                                 (TIMER_INCREASE, self.cfg.increase_timer),
@@ -228,6 +230,7 @@ impl RateController for Dcqcn {
                         // notification as CE (it cannot see UE).
                         self.cut();
                         CcAction {
+                            // simlint: allow(hot-path-alloc) -- two-element timer list per rate cut, bounded by feedback frequency
                             timers: vec![
                                 (TIMER_ALPHA, self.cfg.alpha_timer),
                                 (TIMER_INCREASE, self.cfg.increase_timer),

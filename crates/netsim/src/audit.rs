@@ -255,6 +255,7 @@ impl Audit {
     }
 
     /// Count a completed check of `family`.
+    // simlint: allow(hot-path-panic) -- family.index() enumerates the fixed-size checks array
     pub fn note_check(&mut self, family: InvariantFamily) {
         self.checks[family.index()] += 1;
     }
@@ -309,6 +310,7 @@ impl Audit {
     /// A packet was marked `mark` by the egress `(node, port, prio)` whose
     /// detector is in `state` after marking. Verifies Table 1: UE is only
     /// produced by an undetermined port, CE only by a determined one.
+    // simlint: allow(hot-path-alloc) -- violation reporting path only, bounded by cfg.max_recorded
     pub fn note_mark(
         &mut self,
         t: SimTime,
@@ -344,6 +346,7 @@ impl Audit {
     /// A PAUSE frame is being emitted by the ingress accounting of
     /// `(node, port, prio)` whose counter reads `buffered`. Legal only
     /// strictly above `xoff`.
+    // simlint: allow(hot-path-alloc) -- violation reporting path only, bounded by cfg.max_recorded
     pub fn pfc_pause_sent(
         &mut self,
         t: SimTime,
@@ -369,6 +372,7 @@ impl Audit {
     /// A RESUME frame is being emitted by the ingress accounting of
     /// `(node, port, prio)` whose counter reads `buffered`. Legal only at
     /// or below `xon`.
+    // simlint: allow(hot-path-alloc) -- violation reporting path only, bounded by cfg.max_recorded
     pub fn pfc_resume_sent(
         &mut self,
         t: SimTime,
@@ -394,6 +398,7 @@ impl Audit {
     /// A scheduler selected `(node, port, prio)` for dequeue but its queue
     /// was empty: the byte/backlog accounting (reading `counter`) diverged
     /// from the queue contents.
+    // simlint: allow(hot-path-alloc) -- violation reporting path only, bounded by cfg.max_recorded
     pub fn empty_dequeue(&mut self, t: SimTime, node: NodeId, port: u16, prio: u8, counter: u64) {
         self.report(Violation {
             family: InvariantFamily::BufferAccounting,
@@ -407,6 +412,7 @@ impl Audit {
 
     /// A link-local control frame reached a node type that can never
     /// legally receive it (e.g. an FCCL frame at an Ethernet switch).
+    // simlint: allow(hot-path-alloc) -- violation reporting path only, bounded by cfg.max_recorded
     pub fn misrouted_control_frame(&mut self, t: SimTime, node: NodeId, port: u16, what: &str) {
         self.report(Violation {
             family: InvariantFamily::ProtocolLegality,

@@ -77,6 +77,7 @@ impl CcAction {
     }
 
     /// A single timer request.
+    // simlint: allow(hot-path-alloc) -- single-element timer request, bounded by CC event frequency
     pub fn timer(id: u32, delay: SimDuration) -> CcAction {
         CcAction {
             timers: vec![(id, delay)],

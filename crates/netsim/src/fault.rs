@@ -199,11 +199,13 @@ impl LinkState {
     }
 
     /// Is `(node, port)` currently able to transmit?
+    // simlint: allow(hot-path-panic) -- matrices are sized per node/port from the same topology
     pub fn is_up(&self, n: NodeId, port: u16) -> bool {
         self.up[n.index()][port as usize]
     }
 
     /// The current capacity of `(node, port)` given its `nominal` rate.
+    // simlint: allow(hot-path-panic) -- matrices are sized per node/port from the same topology
     pub fn rate(&self, n: NodeId, port: u16, nominal: Rate) -> Rate {
         self.rate[n.index()][port as usize].unwrap_or(nominal)
     }
@@ -214,10 +216,12 @@ impl LinkState {
             && self.rate.iter().all(|p| p.iter().all(|r| r.is_none()))
     }
 
+    // simlint: allow(hot-path-panic) -- matrices are sized per node/port from the same topology
     pub(crate) fn set_up(&mut self, n: NodeId, port: u16, up: bool) {
         self.up[n.index()][port as usize] = up;
     }
 
+    // simlint: allow(hot-path-panic) -- matrices are sized per node/port from the same topology
     pub(crate) fn set_rate(&mut self, n: NodeId, port: u16, rate: Option<Rate>) {
         self.rate[n.index()][port as usize] = rate;
     }

@@ -170,6 +170,7 @@ impl Host {
             prio,
             next_tx: ctx.now,
             cc,
+            // simlint: allow(hot-path-alloc) -- one-time flow-start setup, not per-packet steady state
             timers: BTreeMap::new(),
         };
         Self::apply_action(ctx, self.id, &mut flow, action);
@@ -206,6 +207,7 @@ impl Host {
     }
 
     /// Deliver a CC timer expiry.
+    // simlint: allow(hot-path-panic) -- flow index comes from position() on the same vec
     pub fn on_cc_timer(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, timer: u32) {
         let Some(idx) = self.active.iter().position(|f| f.id == flow_id) else {
             return; // flow finished sending; stale timer
@@ -261,6 +263,7 @@ impl Host {
         }
     }
 
+    // simlint: allow(hot-path-panic) -- prio indexes per-priority arrays sized at construction
     fn can_send_prio(&self, prio: u8, bytes: u64, is_ib: bool) -> bool {
         if is_ib {
             self.cbfc_tx[prio as usize].can_send(bytes)
@@ -270,6 +273,7 @@ impl Host {
     }
 
     /// The NIC transmitter is (possibly) free: send the next frame.
+    // simlint: allow(hot-path-panic) -- pop_front follows a successful front(); flow/prio indices bounded by construction
     pub fn port_tx(&mut self, ctx: &mut Ctx<'_>) {
         if !self.gate.on_event(ctx.now) {
             return;
@@ -388,6 +392,7 @@ impl Host {
     }
 
     /// Put a frame on the wire and schedule the next transmitter slot.
+    // simlint: allow(hot-path-panic) -- pkt.prio indexes the per-VL credit array sized at construction
     fn transmit(&mut self, ctx: &mut Ctx<'_>, pkt: Box<Packet>, is_ib: bool, credit_gated: bool) {
         if is_ib && credit_gated {
             self.cbfc_tx[pkt.prio as usize].on_send(pkt.size);
@@ -433,6 +438,7 @@ impl Host {
     }
 
     /// A packet finished arriving at this host.
+    // simlint: allow(hot-path-panic) -- prio/VL fields index per-priority arrays sized at construction
     pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut pkt: Box<Packet>) {
         match pkt.kind {
             PacketKind::Pause { prio, pause } => {
@@ -493,6 +499,7 @@ impl Host {
     /// upstream switch paid CBFC credits to deliver them, so skipping this
     /// accounting would let its FCTBS drift ahead of our ABR and slowly
     /// leak credits out of the loop.
+    // simlint: allow(hot-path-panic) -- prio indexes the per-VL credit array sized at construction
     fn account_feedback_rx(&mut self, ctx: &Ctx<'_>, prio: u8, bytes: u64) {
         if ctx.cfg.is_ib() {
             let rx = &mut self.cbfc_rx[prio as usize];
@@ -502,6 +509,7 @@ impl Host {
     }
 
     /// Go-back-N reliability (lossy mode): process a cumulative ACK.
+    // simlint: allow(hot-path-panic) -- flow index comes from position() on the same vec
     fn on_reliable_ack(&mut self, ctx: &mut Ctx<'_>, flow_id: FlowId, cum: u64) {
         let Some(idx) = self.active.iter().position(|f| f.id == flow_id) else {
             return;
@@ -548,6 +556,7 @@ impl Host {
         }
     }
 
+    // simlint: allow(hot-path-panic) -- prio/flow ids index arrays sized at registration; front() precedes the unwrap
     fn on_data(&mut self, ctx: &mut Ctx<'_>, mut pkt: Box<Packet>) {
         if let Some(rate) = ctx.cfg.host_rx_rate {
             // Slow receiver: packets occupy the host's receive buffer until
@@ -677,6 +686,7 @@ impl Host {
     /// A slow receiver finished processing its current head-of-queue
     /// packet: release the buffer space (PFC counter / CBFC credits) and
     /// start on the next packet.
+    // simlint: allow(hot-path-panic) -- prio found by the non-empty scan just above each use; front()/pop follow that check
     pub fn on_host_drain(&mut self, ctx: &mut Ctx<'_>) {
         let Some(rate) = ctx.cfg.host_rx_rate else {
             return;
@@ -725,6 +735,7 @@ impl Host {
 
     /// Periodic CBFC credit update: advertise this host's ingress buffer
     /// upstream and reschedule the tick.
+    // simlint: allow(hot-path-panic) -- vl indexes the per-VL credit array sized at construction
     pub fn on_fccl_tick(&mut self, ctx: &mut Ctx<'_>, vl: u8) {
         let rx = &self.cbfc_rx[vl as usize];
         let period = rx.update_period();

@@ -89,7 +89,6 @@ impl IbPort {
     /// Whether this port's ingress is currently credit-constraining its
     /// upstream for `vl`: the free space is below what a sender at
     /// `line_rate` would need per credit-update period.
-    // simlint: allow(hot-path-panic) -- vl < num_vls is validated at config build; rx is sized num_vls at construction
     pub fn is_constraining_upstream(&self, vl: u8, line_rate: lossless_flowctl::Rate) -> bool {
         let rx = &self.rx[vl as usize];
         let line_blocks =
@@ -166,7 +165,7 @@ impl IbSwitch {
     /// feedback VL always first; the data VLs in strict index order
     /// (default) or weighted round-robin (per-VL byte quanta proportional
     /// to their weights, refilled when all eligible quanta are exhausted).
-    // simlint: allow(hot-path-panic) -- port echoes back from this switch's events; VL indices scan 0..nvl; weights length asserted == num_vls in new()
+    // simlint: allow(hot-path-panic, hot-path-alloc) -- port echoes back from this switch's events; VL indices scan 0..nvl; weights length asserted == num_vls in new(); the order list is at most nvl entries per dequeue
     fn vl_order(&mut self, port: u16, mtu: u64) -> Vec<usize> {
         let nvl = self.ports[port as usize].out_backlog.len();
         let fb = self.feedback_vl as usize;
@@ -608,7 +607,6 @@ impl IbSwitch {
     /// a VL with queued bytes). Downed links are excluded — they resolve
     /// on recovery and are not a wait-for dependency.
     #[cfg(feature = "audit")]
-    // simlint: allow(hot-path-panic) -- vl ranges over blocked.len(); blocked/out_backlog are sized num_vls at construction
     pub(crate) fn audit_blocked_channels(&self) -> Vec<u16> {
         let mut v = Vec::new();
         for (pi, p) in self.ports.iter().enumerate() {
@@ -624,7 +622,6 @@ impl IbSwitch {
     /// the upstream is out of credits because this ingress buffer cannot
     /// drain, and the bytes occupying it sit in VoQs — indexed by
     /// ingress structurally — in front of credit-blocked egresses.
-    // simlint: allow(hot-path-panic) -- audit-only path; ingress comes from the topology, which sized the ports vec
     #[cfg(feature = "audit")]
     pub(crate) fn audit_wait_successors(&self, ingress: u16) -> Vec<u16> {
         let mut v = Vec::new();
@@ -643,7 +640,6 @@ impl IbSwitch {
 
     /// Record the detector's current belief for `(port, vl)` with the
     /// auditor, which validates the transition against Fig. 6.
-    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) validated by the callers' invariants above
     #[cfg(feature = "audit")]
     fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, vl: u8) {
         let p = &self.ports[port as usize];
@@ -676,7 +672,6 @@ impl IbSwitch {
     /// Checkpoint: VoQ contents vs. credit-receiver occupancy, receive
     /// buffers within capacity, senders within their advertised limit, and
     /// egress backlog counters vs. the VoQs feeding them.
-    // simlint: allow(hot-path-panic) -- audit-only path; VL and port indices scan the vec lengths themselves
     #[cfg(feature = "audit")]
     pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
         use crate::audit::{InvariantFamily, Violation};
@@ -755,7 +750,6 @@ impl IbSwitch {
     }
 
     /// Sender-side credit state towards `port`'s peer: `(FCTBS, FCCL)`.
-    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) come from the auditor's iteration over this switch's own dimensions
     #[cfg(feature = "audit")]
     pub(crate) fn audit_cbfc_tx(&self, port: u16, vl: u8) -> (u64, u64) {
         let tx = &self.ports[port as usize].tx[vl as usize];
@@ -763,7 +757,6 @@ impl IbSwitch {
     }
 
     /// Receiver-side credit state at `port`: `(ABR, occupied, capacity)`.
-    // simlint: allow(hot-path-panic) -- audit-only path; (port, vl) come from the auditor's iteration over this switch's own dimensions
     #[cfg(feature = "audit")]
     pub(crate) fn audit_cbfc_rx(&self, port: u16, vl: u8) -> (u64, u64, u64) {
         let rx = &self.ports[port as usize].rx[vl as usize];

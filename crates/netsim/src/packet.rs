@@ -125,6 +125,7 @@ pub const CTRL_FLOW: FlowId = FlowId(u32::MAX);
 
 impl Packet {
     /// Build a data segment.
+    // simlint: allow(hot-path-alloc) -- Vec::new() is allocation-free; INT capacity arrives via PacketPool recycling
     #[allow(clippy::too_many_arguments)]
     pub fn data(
         flow: FlowId,
@@ -155,6 +156,7 @@ impl Packet {
     }
 
     /// Build a link-local control frame (PAUSE or FCCL).
+    // simlint: allow(hot-path-alloc) -- Vec::new() is allocation-free; INT capacity arrives via PacketPool recycling
     pub fn link_local(kind: PacketKind, size: u64, prio: u8) -> Packet {
         debug_assert!(kind.is_link_local());
         Packet {
@@ -177,6 +179,7 @@ impl Packet {
 
     /// Build an end-to-end feedback packet (ACK or CNP) from `src` to
     /// `dst` for `flow`.
+    // simlint: allow(hot-path-alloc) -- Vec::new() is allocation-free; INT capacity arrives via PacketPool recycling
     pub fn feedback(
         flow: FlowId,
         src: NodeId,
@@ -261,6 +264,7 @@ impl PacketPool {
     }
 
     /// Box `pkt`, reusing a recycled allocation when one is available.
+    // simlint: allow(hot-path-alloc) -- pool miss path: allocates only until the pool warms to the in-flight peak
     pub fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
         #[cfg(feature = "audit")]
         {

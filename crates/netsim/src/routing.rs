@@ -97,6 +97,8 @@ impl Routing {
     /// The egress port `node` should use to forward `flow` towards `dst`.
     ///
     /// Panics if `dst` is unreachable from `node` (a topology bug).
+    // simlint: allow(hot-path-panic) -- node/dst ids index tables built for this topology; the
+    // explicit assert documents the unreachable-destination bug case, and idx is % cands.len()
     pub fn out_port(&self, node: NodeId, dst: NodeId, flow: FlowId) -> u16 {
         let di = self.dst_index[dst.index()];
         debug_assert!(di != usize::MAX, "destination {dst:?} is not a host");
@@ -168,6 +170,9 @@ impl Routing {
     ///
     /// Panics if consecutive path nodes are not directly linked or the
     /// path's last node is not a host.
+    // simlint: allow(hot-path-panic, hot-path-alloc) -- validated statically by topolint's
+    // fault-route checks before any plan runs; the panics are the documented contract, and the
+    // single-port vec replaces a candidate set only when a fault event rewires routing
     pub fn apply_path(&mut self, topo: &Topology, path: &[NodeId]) {
         let Some(&dst) = path.last() else { return };
         let di = self.dst_index[dst.index()];

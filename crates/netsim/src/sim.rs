@@ -805,6 +805,9 @@ impl Simulator {
         self.trace.completed_count == self.flows.len()
     }
 
+    // simlint: allow(hot-path-panic) -- event node/flow ids are created against this topology at
+    // setup, so they index nodes/flows in bounds; pending_cc and the RouteUpdate baseline are
+    // invariants the expect() messages document
     fn dispatch(&mut self, now: SimTime, ev: Event) {
         self.trace.events += 1;
         self.obs.dispatched(ev.kind_index());
@@ -967,6 +970,7 @@ impl Simulator {
         }
     }
 
+    // simlint: allow(hot-path-panic) -- sample_ports entries are validated node ids at config time
     fn sample_ports(&mut self, now: SimTime) {
         for &(node, port, prio) in &self.cfg.sample_ports {
             let s = match &self.nodes[node.index()] {

@@ -541,7 +541,6 @@ impl EthSwitch {
     /// non-empty priority). Downed links are excluded — they resolve on
     /// recovery and are not a wait-for dependency.
     #[cfg(feature = "audit")]
-    // simlint: allow(hot-path-panic) -- prio ranges over q.len(); paused/q are sized num_prios at construction
     pub(crate) fn audit_blocked_channels(&self) -> Vec<u16> {
         let mut v = Vec::new();
         for (pi, p) in self.ports.iter().enumerate() {
@@ -559,7 +558,6 @@ impl EthSwitch {
     /// on, the paused egresses holding at least one packet that entered
     /// through `ingress` — the buffer share the upstream is being paused
     /// for sits in front of exactly those egresses.
-    // simlint: allow(hot-path-panic) -- audit-only path; ingress comes from the topology, which sized the ports vec
     #[cfg(feature = "audit")]
     pub(crate) fn audit_wait_successors(&self, ingress: u16) -> Vec<u16> {
         let mut v = Vec::new();
@@ -580,7 +578,6 @@ impl EthSwitch {
     }
 
     /// Feed the auditor the detector's current state for `(port, prio)`.
-    // simlint: allow(hot-path-panic) -- audit-only path; (port, prio) validated by the callers' invariants above
     #[cfg(feature = "audit")]
     fn audit_note_state(&self, ctx: &mut Ctx<'_>, port: u16, prio: u8) {
         let p = &self.ports[port as usize];
@@ -607,7 +604,6 @@ impl EthSwitch {
     /// contents, per-ingress PFC counters sum to the shared-buffer
     /// occupancy and respect the thresholds, and the pause state is
     /// consistent with the counters.
-    // simlint: allow(hot-path-panic) -- audit-only path; prio indices scan 0..q.len()
     #[cfg(feature = "audit")]
     pub(crate) fn audit_check(&self, a: &mut crate::audit::Audit, now: SimTime) {
         use crate::audit::{InvariantFamily, Violation};

@@ -88,6 +88,7 @@ impl Topology {
     }
 
     /// The link attached to `(node, port)`.
+    // simlint: allow(hot-path-panic) -- node/port pairs originate from this topology's own tables
     pub fn link(&self, n: NodeId, port: u16) -> &LinkEnd {
         &self.ports[n.index()][port as usize]
     }
@@ -110,6 +111,7 @@ impl Topology {
 
     /// Find the port on `from` whose link leads to `to`, if directly
     /// connected.
+    // simlint: allow(hot-path-panic) -- from is a NodeId minted by this builder, in bounds by construction
     pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<u16> {
         self.ports[from.index()]
             .iter()
@@ -156,6 +158,8 @@ impl TopologyBuilder {
 
     /// Connect two nodes with a symmetric full-duplex link; returns the
     /// port indices allocated at `(a, b)`.
+    // simlint: allow(hot-path-panic) -- builder-time only (hot by a name collision with the
+    // accessor); node ids were minted by this builder
     pub fn link(&mut self, a: NodeId, b: NodeId, rate: Rate, delay: SimDuration) -> (u16, u16) {
         assert_ne!(a, b, "self-links are not allowed");
         let pa = self.ports[a.index()].len() as u16;

@@ -126,6 +126,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
+    // simlint: allow(hot-path-alloc) -- parse-error path of the offline JSON reader; hot only by a name collision with Option::expect
     fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;

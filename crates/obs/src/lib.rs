@@ -142,6 +142,7 @@ impl Obs {
     }
 
     /// Count one event dispatch of the given kind index.
+    // simlint: allow(hot-path-panic) -- kind < MAX_EVENT_KINDS is checked on the line above the access
     #[inline]
     pub fn dispatched(&mut self, kind: usize) {
         if self.on() && kind < MAX_EVENT_KINDS {

@@ -108,6 +108,7 @@ impl Histogram {
     }
 
     /// Record one value.
+    // simlint: allow(hot-path-panic) -- counts is resized to idx + 1 right above the access
     pub fn observe(&mut self, v: u64) {
         let idx = bucket_index(v);
         if idx >= self.counts.len() {

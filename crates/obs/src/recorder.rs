@@ -133,6 +133,7 @@ struct Ring {
 }
 
 impl Ring {
+    // simlint: allow(hot-path-panic) -- next wraps modulo cap and buf.len() == cap once the else branch is reachable
     fn push(&mut self, cap: usize, r: Record) {
         if self.buf.len() < cap {
             self.buf.push(r);

@@ -1,4 +1,4 @@
-//! Level 1: token-level workspace lint.
+//! Level 1: semantic workspace lint (token rules + call-graph reachability).
 //!
 //! Enforces project rules that clippy cannot express:
 //!
@@ -9,12 +9,28 @@
 //!   and bench code; simulation logic must consume virtual time only.
 //! - `thread-spawn`: no `thread::spawn`/`thread::scope` outside the harness;
 //!   all parallelism goes through the deterministic work queue.
-//! - `hot-path-panic`: no `.unwrap()`, `.expect()` or slice indexing in the
-//!   designated hot-path modules (`switch.rs`, `ibswitch.rs`, `event.rs`)
-//!   without an inline justification.
+//! - `hot-path-panic`: no `.unwrap()`, `.expect()` or slice indexing on the
+//!   event path without an inline justification.
+//! - `hot-path-alloc`: no heap allocation (`vec!`, `format!`, `Box::new`,
+//!   `collect`, `to_string`, …) on the event path without justification.
+//! - `time-arith`: no unchecked `+`/`-`/`*` on raw `as_ps()` picosecond
+//!   `u64`s on the event path — ps values run against the timing wheel's
+//!   2^49 ps horizon, so raw products overflow silently; stay in
+//!   `SimTime`/`SimDuration`, widen to `u128`, or use checked/saturating ops.
 //! - `forbid-unsafe`: every non-vendored crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //! - `bad-allow`: malformed or unknown `// simlint: allow(...)` directives.
+//! - `stale-allow`: a well-formed directive that no longer suppresses any
+//!   finding — dead annotations must be pruned, not accumulated.
+//! - `spec-mismatch`: the Fig. 6 state machine diverges from the committed
+//!   `fig6.spec` table (see [`crate::spec`]).
+//!
+//! The *hot path* is not a hand-maintained file list: it is every function
+//! reachable in the call graph from the engine's dispatch loop
+//! ([`HOT_ROOT`], `Simulator::drive`) — see [`crate::symbols`] and
+//! [`crate::callgraph`]. `#[cfg(..)]`-gated code (the audit layer, test
+//! modules) is by definition not on the unconditional event path and is
+//! excluded.
 //!
 //! Suppression syntax (reason is mandatory):
 //!
@@ -29,7 +45,14 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph;
 use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::symbols::{self, matching_brace};
+
+/// The call-graph reachability root: the engine's single event dispatch
+/// loop (`Simulator::drive`), which every `run*` entry point funnels
+/// through.
+pub const HOT_ROOT: &str = "drive";
 
 /// Lint rules, in stable report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,17 +61,25 @@ pub enum Rule {
     WallClock,
     ThreadSpawn,
     HotPathPanic,
+    HotPathAlloc,
+    TimeArith,
     ForbidUnsafe,
     BadAllow,
+    StaleAllow,
+    SpecMismatch,
 }
 
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::HashCollections,
     Rule::WallClock,
     Rule::ThreadSpawn,
     Rule::HotPathPanic,
+    Rule::HotPathAlloc,
+    Rule::TimeArith,
     Rule::ForbidUnsafe,
     Rule::BadAllow,
+    Rule::StaleAllow,
+    Rule::SpecMismatch,
 ];
 
 impl Rule {
@@ -58,8 +89,12 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::HotPathPanic => "hot-path-panic",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::TimeArith => "time-arith",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadAllow => "bad-allow",
+            Rule::StaleAllow => "stale-allow",
+            Rule::SpecMismatch => "spec-mismatch",
         }
     }
 
@@ -102,19 +137,14 @@ pub struct FileClass {
     pub wall_clock_ok: bool,
     /// May spawn OS threads (harness only).
     pub threads_ok: bool,
-    /// Hot-path module: panics need inline justification.
-    pub hot_path: bool,
     /// Crate root that must carry `#![forbid(unsafe_code)]`.
     pub crate_root: bool,
+    /// Integration tests / benches: linted, but their function definitions
+    /// stay out of the call graph (they cannot be on the event path).
+    pub test_code: bool,
 }
 
 const VENDORED_PREFIXES: [&str; 3] = ["crates/rand/", "crates/proptest/", "crates/criterion/"];
-
-const HOT_PATH_FILES: [&str; 3] = [
-    "crates/netsim/src/switch.rs",
-    "crates/netsim/src/ibswitch.rs",
-    "crates/netsim/src/event.rs",
-];
 
 /// Crates whose code holds or mutates simulation state.
 const STATE_PREFIXES: [&str; 9] = [
@@ -143,21 +173,29 @@ impl FileClass {
             STATE_PREFIXES.iter().any(|p| relpath.starts_with(p)) || relpath.starts_with("tests/");
         fc.wall_clock_ok = relpath == "src/harness.rs" || relpath.starts_with("crates/bench/");
         fc.threads_ok = relpath == "src/harness.rs";
-        fc.hot_path = HOT_PATH_FILES.contains(&relpath);
         fc.crate_root = relpath == "src/lib.rs"
             || (relpath.starts_with("crates/")
                 && relpath.ends_with("/src/lib.rs")
                 && relpath.matches('/').count() == 3);
+        fc.test_code = relpath.starts_with("tests/")
+            || relpath.contains("/tests/")
+            || relpath.contains("/benches/")
+            || relpath.starts_with("src/bin/");
         fc
     }
 }
 
-/// A parsed `// simlint: allow(rule, ...) -- reason` directive.
+/// A parsed `// simlint: allow(rule, ...) -- reason` directive, with a
+/// suppression-hit counter driving the `stale-allow` rule.
 struct AllowDirective {
     rules: Vec<Rule>,
+    /// The directive's own source line (for stale-allow reporting).
+    line: u32,
     /// Inclusive 1-based line range this directive suppresses.
     from_line: u32,
     to_line: u32,
+    /// Findings this directive suppressed during the scan.
+    hits: u32,
 }
 
 /// Keywords that may legitimately be followed by `[` starting an array
@@ -166,41 +204,93 @@ const INDEX_EXEMPT_KEYWORDS: [&str; 12] = [
     "let", "mut", "in", "if", "else", "match", "return", "as", "ref", "move", "break", "while",
 ];
 
-/// Lint a single file given its workspace-relative path and source text.
-/// This is the unit the fixture tests drive directly.
+/// Types whose `::new`/`::with_capacity`/`::from` constructors allocate.
+const ALLOC_TYPES: [&str; 7] = [
+    "Box", "Vec", "VecDeque", "String", "BTreeMap", "BTreeSet", "Rc",
+];
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+/// Methods that allocate their result.
+const ALLOC_METHODS: [&str; 4] = ["to_vec", "to_owned", "to_string", "collect"];
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Suppress a finding if a directive covers it, counting the hit.
+fn try_allow(allows: &mut [AllowDirective], rule: Rule, line: u32) -> bool {
+    for a in allows.iter_mut() {
+        if a.rules.contains(&rule) && line >= a.from_line && line <= a.to_line {
+            a.hits += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint a set of sources as one workspace: build the symbol table over the
+/// non-test simulation-state files, derive the hot set by reachability
+/// from [`HOT_ROOT`], then run every token rule per file. Each element is
+/// `(workspace-relative path, source text)`. This is the unit both
+/// [`lint_workspace`] and the fixture tests drive.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut defs = Vec::new();
+    for (rel, src) in files {
+        let fc = FileClass::classify(rel);
+        if fc.skip || !fc.state_code || fc.test_code {
+            continue;
+        }
+        defs.extend(symbols::extract(rel, src));
+    }
+    let hot = callgraph::hot_ranges(&defs, HOT_ROOT);
+    let mut diags = Vec::new();
+    for (rel, src) in files {
+        let ranges = hot.get(rel.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+        diags.extend(lint_one(rel, src, ranges));
+    }
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+    diags
+}
+
+/// Lint a single file in isolation (no cross-file call graph: the hot set
+/// is whatever is reachable from a [`HOT_ROOT`] defined in this file).
 pub fn lint_file(relpath: &str, src: &str) -> Vec<Diagnostic> {
+    lint_sources(&[(relpath.to_string(), src.to_string())])
+}
+
+/// The per-file token scan. `hot_ranges` are the line spans of the
+/// event-path-reachable functions in this file.
+fn lint_one(relpath: &str, src: &str, hot_ranges: &[(u32, u32)]) -> Vec<Diagnostic> {
     let fc = FileClass::classify(relpath);
     if fc.skip {
         return Vec::new();
     }
     let lexed = lex(src);
     let mut diags = Vec::new();
-    let (allows, mut bad_allow_diags) =
+    let (mut allows, mut bad_allow_diags) =
         parse_allow_directives(relpath, &lexed.comments, &lexed.tokens);
     diags.append(&mut bad_allow_diags);
 
-    let test_ranges = cfg_test_ranges(&lexed.tokens);
-    let in_tests = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
-    let allowed = |rule: Rule, line: u32| {
-        allows
-            .iter()
-            .any(|a| a.rules.contains(&rule) && line >= a.from_line && line <= a.to_line)
-    };
-    let mut push = |rule: Rule, line: u32, message: String| {
-        if !allowed(rule, line) {
-            diags.push(Diagnostic {
-                file: relpath.to_string(),
-                line,
-                rule,
-                message,
-            });
-        }
-    };
+    let hot = |line: u32| hot_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    macro_rules! push {
+        ($rule:expr, $line:expr, $msg:expr) => {
+            if !try_allow(&mut allows, $rule, $line) {
+                diags.push(Diagnostic {
+                    file: relpath.to_string(),
+                    line: $line,
+                    rule: $rule,
+                    message: $msg,
+                });
+            }
+        };
+    }
 
     let toks = &lexed.tokens;
     for (i, t) in toks.iter().enumerate() {
         if fc.state_code && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            push(
+            push!(
                 Rule::HashCollections,
                 t.line,
                 format!(
@@ -208,18 +298,18 @@ pub fn lint_file(relpath: &str, src: &str) -> Vec<Diagnostic> {
                      use `BTree{}` so runs stay bit-identical",
                     t.text,
                     &t.text[4..]
-                ),
+                )
             );
         }
         if !fc.wall_clock_ok && (t.is_ident("Instant") || t.is_ident("SystemTime")) {
-            push(
+            push!(
                 Rule::WallClock,
                 t.line,
                 format!(
                     "`{}` reads the wall clock; simulation logic must only consume virtual \
                      `SimTime` (wall-clock access is confined to src/harness.rs and bench code)",
                     t.text
-                ),
+                )
             );
         }
         if !fc.threads_ok
@@ -229,55 +319,189 @@ pub fn lint_file(relpath: &str, src: &str) -> Vec<Diagnostic> {
             && matches!(toks.get(i + 3),
                 Some(t3) if t3.is_ident("spawn") || t3.is_ident("scope") || t3.is_ident("Builder"))
         {
-            push(
+            push!(
                 Rule::ThreadSpawn,
                 t.line,
                 "OS threads outside src/harness.rs break deterministic scheduling; route \
                  parallelism through the harness work queue"
-                    .to_string(),
+                    .to_string()
             );
         }
-        if fc.hot_path && !in_tests(t.line) {
+        if hot(t.line) {
+            // --- hot-path-panic ----------------------------------------
             if (t.is_ident("unwrap") || t.is_ident("expect")) && i > 0 && toks[i - 1].is_punct('.')
             {
-                push(
+                push!(
                     Rule::HotPathPanic,
                     t.line,
                     format!(
-                        "`.{}()` can panic in a hot-path module; handle the case or add \
-                         `// simlint: allow(hot-path-panic) -- <why it cannot fail>`",
+                        "`.{}()` can panic in an event-path-reachable function; handle the \
+                         case or add `// simlint: allow(hot-path-panic) -- <why it cannot fail>`",
                         t.text
-                    ),
+                    )
                 );
             }
             if t.is_punct('[') && i > 0 && is_index_base(&toks[i - 1]) {
-                push(
+                push!(
                     Rule::HotPathPanic,
                     t.line,
-                    "slice indexing can panic in a hot-path module; use `get()` or add \
-                     `// simlint: allow(hot-path-panic) -- <why the index is in bounds>`"
-                        .to_string(),
+                    "slice indexing can panic in an event-path-reachable function; use \
+                     `get()` or add `// simlint: allow(hot-path-panic) -- <why the index is \
+                     in bounds>`"
+                        .to_string()
                 );
+            }
+            // --- hot-path-alloc ----------------------------------------
+            if t.kind == TokKind::Ident
+                && ALLOC_MACROS.contains(&t.text.as_str())
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct('!'))
+            {
+                push!(
+                    Rule::HotPathAlloc,
+                    t.line,
+                    format!(
+                        "`{}!` allocates on the event path; preallocate outside the loop or \
+                         add `// simlint: allow(hot-path-alloc) -- <why the allocation is \
+                         unavoidable or off the steady-state path>`",
+                        t.text
+                    )
+                );
+            }
+            if t.kind == TokKind::Ident && ALLOC_TYPES.contains(&t.text.as_str()) {
+                if let Some(ctor) = alloc_ctor_after(toks, i) {
+                    push!(
+                        Rule::HotPathAlloc,
+                        t.line,
+                        format!(
+                            "`{}::{ctor}` allocates on the event path; preallocate and \
+                             reuse, or justify with `// simlint: allow(hot-path-alloc) -- \
+                             <reason>`",
+                            t.text
+                        )
+                    );
+                }
+            }
+            if t.kind == TokKind::Ident
+                && ALLOC_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct('(') || n.is_punct(':'))
+            {
+                push!(
+                    Rule::HotPathAlloc,
+                    t.line,
+                    format!(
+                        "`.{}()` allocates on the event path; preallocate and reuse, or \
+                         justify with `// simlint: allow(hot-path-alloc) -- <reason>`",
+                        t.text
+                    )
+                );
+            }
+            // --- time-arith --------------------------------------------
+            if t.is_ident("as_ps")
+                && matches!(toks.get(i + 1), Some(a) if a.is_punct('('))
+                && matches!(toks.get(i + 2), Some(b) if b.is_punct(')'))
+            {
+                let next_op = matches!(toks.get(i + 3),
+                    Some(n) if n.is_punct('+') || n.is_punct('-') || n.is_punct('*'));
+                let prev_op = i >= 3
+                    && toks[i - 1].is_punct('.')
+                    && is_index_base(&toks[i - 2])
+                    && (toks[i - 3].is_punct('+')
+                        || toks[i - 3].is_punct('-')
+                        || toks[i - 3].is_punct('*'));
+                if next_op || prev_op {
+                    push!(
+                        Rule::TimeArith,
+                        t.line,
+                        "unchecked arithmetic on a raw `as_ps()` u64: picosecond values run \
+                         against the wheel's 2^49 ps horizon, so sums/products can overflow \
+                         silently — stay in SimTime/SimDuration, widen to u128, use \
+                         checked/saturating ops, or justify with `// simlint: \
+                         allow(time-arith) -- <why it cannot overflow>`"
+                            .to_string()
+                    );
+                }
             }
         }
     }
 
-    if fc.crate_root && !has_forbid_unsafe(toks) {
+    if fc.crate_root && !has_forbid_unsafe(toks) && !try_allow(&mut allows, Rule::ForbidUnsafe, 1) {
         // Suppression check uses line 1 (the attribute belongs at the top).
-        if !allowed(Rule::ForbidUnsafe, 1) {
+        diags.push(Diagnostic {
+            file: relpath.to_string(),
+            line: 1,
+            rule: Rule::ForbidUnsafe,
+            message: "crate root is missing `#![forbid(unsafe_code)]`; every non-vendored \
+                      crate in this workspace must forbid unsafe code"
+                .to_string(),
+        });
+    }
+
+    // A directive that suppressed nothing is dead weight — and, worse,
+    // suggests protection that does not exist. Prune it.
+    for a in &allows {
+        if a.hits == 0 {
             diags.push(Diagnostic {
                 file: relpath.to_string(),
-                line: 1,
-                rule: Rule::ForbidUnsafe,
-                message: "crate root is missing `#![forbid(unsafe_code)]`; every non-vendored \
-                          crate in this workspace must forbid unsafe code"
-                    .to_string(),
+                line: a.line,
+                rule: Rule::StaleAllow,
+                message: format!(
+                    "stale `allow({})`: it no longer suppresses any finding in its scope \
+                     (lines {}..={}); delete the directive",
+                    a.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    a.from_line,
+                    a.to_line
+                ),
             });
         }
     }
 
     diags.sort_by_key(|d| (d.line, d.rule));
     diags
+}
+
+/// If the tokens after an allocating type name at `i` spell
+/// `::new(`/`::with_capacity(`/`::from(` — optionally through a turbofish
+/// (`Vec::<u8>::new(`) — return the constructor name.
+fn alloc_ctor_after(toks: &[Token], i: usize) -> Option<&str> {
+    let mut j = i + 1;
+    if !(toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':')) {
+        return None;
+    }
+    j += 2;
+    if toks.get(j)?.is_punct('<') {
+        let mut depth = 0i64;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        j += 1;
+        if !(toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':')) {
+            return None;
+        }
+        j += 2;
+    }
+    let c = toks.get(j)?;
+    if c.kind == TokKind::Ident
+        && ALLOC_CTORS.contains(&c.text.as_str())
+        && toks.get(j + 1)?.is_punct('(')
+    {
+        Some(&c.text)
+    } else {
+        None
+    }
 }
 
 /// True if a `[` directly after this token is an indexing operation.
@@ -300,57 +524,6 @@ fn has_forbid_unsafe(toks: &[Token]) -> bool {
             && w[6].is_punct(')')
             && w[7].is_punct(']')
     })
-}
-
-/// Line ranges (inclusive) covered by `#[cfg(test)] mod ... { }` items.
-/// Test modules are exempt from `hot-path-panic` only; all other rules
-/// apply inside them (a nondeterministic test is still a flaky test).
-fn cfg_test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut ranges = Vec::new();
-    let mut i = 0usize;
-    while i + 8 < toks.len() {
-        let w = &toks[i..i + 7];
-        let is_cfg_test = w[0].is_punct('#')
-            && w[1].is_punct('[')
-            && w[2].is_ident("cfg")
-            && w[3].is_punct('(')
-            && w[4].is_ident("test")
-            && w[5].is_punct(')')
-            && w[6].is_punct(']');
-        if is_cfg_test && toks.get(i + 7).is_some_and(|t| t.is_ident("mod")) {
-            // Find the module's opening brace, then its match.
-            let mut j = i + 8;
-            while j < toks.len() && !toks[j].is_punct('{') {
-                j += 1;
-            }
-            if let Some(end) = matching_brace(toks, j) {
-                ranges.push((toks[i].line, toks[end].line));
-                i = end + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    ranges
-}
-
-/// Given the index of a `{` token, return the index of its matching `}`.
-fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
-    if open >= toks.len() || !toks[open].is_punct('{') {
-        return None;
-    }
-    let mut depth = 0i64;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
 }
 
 /// Parse every `simlint:` comment into a scoped directive, emitting
@@ -418,8 +591,10 @@ fn parse_allow_directives(
         let (from_line, to_line) = directive_span(c.line, toks);
         allows.push(AllowDirective {
             rules,
+            line: c.line,
             from_line,
             to_line,
+            hits: 0,
         });
     }
     (allows, diags)
@@ -519,20 +694,70 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
     Ok(out)
 }
 
-/// Lint the whole workspace rooted at `root`. Returns the diagnostics plus
-/// the number of files scanned.
+/// Lint the whole workspace rooted at `root`: the semantic code lint over
+/// every non-skipped file plus the Fig. 6 spec-conformance pass against
+/// the committed table. Returns the diagnostics plus the number of files
+/// scanned.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
-    let mut diags = Vec::new();
-    let mut scanned = 0usize;
+    lint_workspace_with_table(root, None)
+}
+
+/// [`lint_workspace`] with the Fig. 6 table read from `table_override`
+/// instead of the committed [`crate::spec::SPEC_TABLE_PATH`] — the hook CI
+/// uses to prove a seeded spec mutation is caught end to end.
+pub fn lint_workspace_with_table(
+    root: &Path,
+    table_override: Option<&Path>,
+) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let mut srcs = Vec::new();
     for (rel, path) in workspace_files(root)? {
         if FileClass::classify(&rel).skip {
             continue;
         }
-        let src = std::fs::read_to_string(&path)?;
-        scanned += 1;
-        diags.extend(lint_file(&rel, &src));
+        srcs.push((rel, std::fs::read_to_string(&path)?));
     }
+    let scanned = srcs.len();
+    let mut diags = lint_sources(&srcs);
+
+    let table_path = table_override
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join(crate::spec::SPEC_TABLE_PATH));
+    match std::fs::read_to_string(&table_path) {
+        Ok(table) => diags.extend(crate::spec::check_workspace(&table, &srcs)),
+        Err(e) => diags.push(Diagnostic {
+            file: crate::spec::SPEC_TABLE_PATH.to_string(),
+            line: 1,
+            rule: Rule::SpecMismatch,
+            message: format!(
+                "cannot read the committed Fig. 6 spec table ({e}); the state machine \
+                 is unpinned"
+            ),
+        }),
+    }
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
     Ok((diags, scanned))
+}
+
+/// The workspace's hot-function set: every function reachable from the
+/// [`HOT_ROOT`] dispatch loop, as `(file, name, line)` — the reachability
+/// evidence behind the hot-path rules, exported so `tcdsim lint --json`
+/// can show *why* a site counts as hot.
+pub fn workspace_hot_functions(root: &Path) -> std::io::Result<Vec<(String, String, u32)>> {
+    let mut defs = Vec::new();
+    for (rel, path) in workspace_files(root)? {
+        let fc = FileClass::classify(&rel);
+        if fc.skip || !fc.state_code || fc.test_code {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        defs.extend(symbols::extract(&rel, &src));
+    }
+    Ok(callgraph::hot_functions(&defs, HOT_ROOT))
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares
@@ -559,7 +784,6 @@ mod tests {
     fn classify_matches_layout() {
         assert!(FileClass::classify("crates/rand/src/lib.rs").skip);
         assert!(FileClass::classify("crates/simlint/tests/fixtures/bad.rs").skip);
-        assert!(FileClass::classify("crates/netsim/src/switch.rs").hot_path);
         assert!(FileClass::classify("crates/netsim/src/routing.rs").state_code);
         assert!(FileClass::classify("crates/obs/src/metrics.rs").state_code);
         assert!(!FileClass::classify("crates/bench/src/lib.rs").state_code);
@@ -569,11 +793,36 @@ mod tests {
         assert!(FileClass::classify("crates/netsim/src/lib.rs").crate_root);
         assert!(!FileClass::classify("crates/netsim/src/routing.rs").crate_root);
         assert!(!FileClass::classify("crates/netsim/tests/src/lib.rs").crate_root);
+        assert!(FileClass::classify("tests/static_analysis.rs").test_code);
+        assert!(FileClass::classify("crates/netsim/tests/fault_order.rs").test_code);
+        assert!(!FileClass::classify("crates/netsim/src/sim.rs").test_code);
+    }
+
+    /// A two-function fixture: `drive` reaches `step`, `cold` is unreachable.
+    fn reach_src(body_hot: &str, body_cold: &str) -> String {
+        format!(
+            "#![forbid(unsafe_code)]\n\
+             fn drive(v: &[u32]) {{ step(v); }}\n\
+             fn step(v: &[u32]) {{\n{body_hot}\n}}\n\
+             fn cold(v: &[u32]) {{\n{body_cold}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn hot_rules_follow_reachability_not_file_names() {
+        // The same panicky body: flagged in the reachable fn, not the cold
+        // one — in a file that was never on the old hand-maintained list.
+        let src = reach_src("let _ = v[0];", "let _ = v[0];");
+        let diags = lint_file("crates/netsim/src/host.rs", &src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::HotPathPanic);
+        assert_eq!(diags[0].line, 4, "only the reachable copy: {diags:?}");
     }
 
     #[test]
     fn fn_scope_allow_covers_whole_body() {
         let src = "#![forbid(unsafe_code)]\n\
+                   fn drive(v: &[u32]) { f(v, 0); g(v); }\n\
                    // simlint: allow(hot-path-panic) -- ports are fixed at build\n\
                    fn f(v: &[u32], i: usize) -> u32 {\n\
                        let a = v[i];\n\
@@ -582,20 +831,21 @@ mod tests {
                    fn g(v: &[u32]) -> u32 { v[0] }\n";
         let diags = lint_file("crates/netsim/src/event.rs", src);
         assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].line, 7);
+        assert_eq!(diags[0].line, 8);
         assert_eq!(diags[0].rule, Rule::HotPathPanic);
     }
 
     #[test]
     fn trailing_allow_covers_its_line_only() {
         let src = "#![forbid(unsafe_code)]\n\
+                   fn drive(v: &[u32]) { f(v); }\n\
                    fn f(v: &[u32]) -> u32 {\n\
                        let a = v[0]; // simlint: allow(hot-path-panic) -- checked above\n\
                        v[1]\n\
                    }\n";
         let diags = lint_file("crates/netsim/src/event.rs", src);
         assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].line, 5);
     }
 
     #[test]
@@ -607,8 +857,23 @@ mod tests {
     }
 
     #[test]
-    fn cfg_test_mod_is_exempt_from_hot_path_panic_only() {
+    fn stale_allow_is_reported_and_live_allow_is_not() {
         let src = "#![forbid(unsafe_code)]\n\
+                   fn drive(v: &[u32]) { live(v); dead(v); }\n\
+                   // simlint: allow(hot-path-panic) -- index bounded by caller\n\
+                   fn live(v: &[u32]) -> u32 { v[0] }\n\
+                   // simlint: allow(hot-path-panic) -- nothing panics here anymore\n\
+                   fn dead(v: &[u32]) -> u32 { v.first().copied().unwrap_or(0) }\n";
+        let diags = lint_file("crates/netsim/src/event.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::StaleAllow);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_hot_rules_only() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn drive() {}\n\
                    #[cfg(test)]\n\
                    mod tests {\n\
                        use std::collections::HashMap;\n\
@@ -624,5 +889,35 @@ mod tests {
     fn vec_macro_is_not_indexing() {
         let src = "#![forbid(unsafe_code)]\nfn f() -> Vec<u32> { vec![0; 4] }\n";
         assert!(lint_file("crates/netsim/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allocation_in_hot_fn_is_flagged() {
+        let src = reach_src(
+            "let a = vec![0u8; 4]; let b = format!(\"x\"); let c = Vec::<u8>::new(); \
+             let d = v.to_vec(); drop((a, b, c, d));",
+            "let _ = vec![0u8; 4];",
+        );
+        let diags = lint_file("crates/netsim/src/host.rs", &src);
+        assert_eq!(diags.len(), 4, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::HotPathAlloc));
+    }
+
+    #[test]
+    fn raw_ps_arithmetic_in_hot_fn_is_flagged() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn drive(t: T) { step(t); }\n\
+                   fn step(t: T) -> u64 {\n\
+                       let a = t.as_ps() + 1;\n\
+                       let b = 2 + t.as_ps();\n\
+                       let ok = t.as_ps() / 2;\n\
+                       let widened = (t.as_ps() as u128) * 3;\n\
+                       a + b + ok + widened as u64\n\
+                   }\n";
+        let diags = lint_file("crates/flowctl/src/time.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::TimeArith));
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[1].line, 5);
     }
 }

@@ -5,7 +5,10 @@
 //! token to a 1-based line number, and (3) keep comment text around so
 //! `// simlint: allow(...)` directives can be recovered with their position.
 
-/// Kind of a lexed token. String/char literal contents are never exposed.
+/// Kind of a lexed token. String literal contents are never exposed, so
+/// rule patterns cannot match inside them; simple (unescaped) char
+/// literals keep their one-character payload because the spec-conformance
+/// pass needs the paper's `'0'`/`'1'`/`'/'` state symbols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword.
@@ -14,7 +17,8 @@ pub enum TokKind {
     Number,
     /// Any single punctuation character.
     Punct(char),
-    /// A string or char literal (contents dropped).
+    /// A string or char literal (string contents dropped; simple char
+    /// literals keep their payload in `text`).
     Literal,
     /// A lifetime such as `'a` (distinct from a char literal).
     Lifetime,
@@ -23,7 +27,8 @@ pub enum TokKind {
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokKind,
-    /// Text for `Ident` tokens; empty for everything else.
+    /// Text for `Ident` tokens and unescaped char literals; empty for
+    /// everything else.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -219,10 +224,10 @@ pub fn lex(src: &str) -> Lexed {
                 continue;
             }
             if at(q + 2) == '\'' {
-                // 'x'
+                // 'x' — keep the payload for the spec-conformance pass.
                 out.tokens.push(Token {
                     kind: TokKind::Literal,
-                    text: String::new(),
+                    text: at(q + 1).to_string(),
                     line,
                 });
                 i = q + 3;

@@ -1,0 +1,718 @@
+//! Spec-conformance pass: pin the implemented TCD state machine to the
+//! paper's Fig. 6, statically.
+//!
+//! A committed machine-readable transition table
+//! ([`SPEC_TABLE_PATH`], `fig6.spec`) is the source of truth: three
+//! ternary states with their paper symbols and the six legal transitions.
+//! This pass extracts, from tokens alone,
+//!
+//! * the `TernaryState` and `Transition` enum variants, the
+//!   `symbol()`/`from_symbol()` arms and the `classify()`/`endpoints()`
+//!   arms of `crates/core/src/state.rs`, and
+//! * every `set_state(TernaryState::X)` call in
+//!   `crates/core/src/detector.rs`,
+//!
+//! and diffs them against the table. Any divergence — an extra or missing
+//! transition, a swapped endpoint, a renamed state, a wrong paper symbol,
+//! or a runtime detector that can no longer enter one of the states — is
+//! a `spec-mismatch` finding. Changing the state machine deliberately
+//! means re-blessing `fig6.spec` in the same commit.
+
+use crate::codelint::{Diagnostic, Rule};
+use crate::lexer::{lex, TokKind, Token};
+use crate::symbols::matching_brace;
+
+/// Workspace-relative path of the committed Fig. 6 table.
+pub const SPEC_TABLE_PATH: &str = "crates/simlint/fig6.spec";
+/// The file defining the state/transition enums and their maps.
+pub const STATE_FILE: &str = "crates/core/src/state.rs";
+/// The runtime detector whose `set_state` targets must cover every state.
+pub const DETECTOR_FILE: &str = "crates/core/src/detector.rs";
+
+/// One transition row of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTransition {
+    pub number: u32,
+    pub from: String,
+    pub to: String,
+    pub variant: String,
+}
+
+/// The parsed Fig. 6 table.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTable {
+    /// `(variant name, paper symbol)` in table order.
+    pub states: Vec<(String, char)>,
+    pub transitions: Vec<SpecTransition>,
+}
+
+impl SpecTable {
+    fn has_state(&self, name: &str) -> bool {
+        self.states.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Parse the `fig6.spec` format (`#` comments, `state`/`transition` rows).
+pub fn parse_table(text: &str) -> Result<SpecTable, String> {
+    let mut table = SpecTable::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| Err(format!("{SPEC_TABLE_PATH}:{}: {msg}: `{line}`", i + 1));
+        match fields.as_slice() {
+            ["state", name, sym] => {
+                let mut chars = sym.chars();
+                let (Some(c), None) = (chars.next(), chars.next()) else {
+                    return err("state symbol must be one character");
+                };
+                table.states.push((name.to_string(), c));
+            }
+            ["transition", n, from, to, variant] => {
+                let Ok(number) = n.parse() else {
+                    return err("transition number must be an integer");
+                };
+                table.transitions.push(SpecTransition {
+                    number,
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    variant: variant.to_string(),
+                });
+            }
+            _ => {
+                return err(
+                    "expected `state <name> <symbol>` or `transition <n> <from> <to> <variant>`",
+                )
+            }
+        }
+    }
+    for t in &table.transitions {
+        if !table.has_state(&t.from) || !table.has_state(&t.to) {
+            return Err(format!(
+                "{SPEC_TABLE_PATH}: transition {} references an undeclared state",
+                t.number
+            ));
+        }
+    }
+    if table.states.is_empty() || table.transitions.is_empty() {
+        return Err(format!(
+            "{SPEC_TABLE_PATH}: table declares no states or no transitions"
+        ));
+    }
+    Ok(table)
+}
+
+/// Diff the state-machine sources against `table`. `state_src` is the
+/// content of [`STATE_FILE`], `detector_src` of [`DETECTOR_FILE`].
+pub fn check(table: &SpecTable, state_src: &str, detector_src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let push = |diags: &mut Vec<Diagnostic>, file: &str, line: u32, message: String| {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: Rule::SpecMismatch,
+            message,
+        });
+    };
+
+    let toks = lex(state_src).tokens;
+    let norm = normalize(&toks);
+
+    // --- State set ------------------------------------------------------
+    match enum_variants(&norm, "TernaryState") {
+        Some((variants, line)) => {
+            diff_sets(
+                &mut diags,
+                STATE_FILE,
+                line,
+                "TernaryState variant",
+                &variants.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                &table
+                    .states
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        None => push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `enum TernaryState` to check against the Fig. 6 table".into(),
+        ),
+    }
+
+    // --- Paper symbols (symbol / from_symbol) ---------------------------
+    if let Some((body, line)) = fn_body(&norm, "symbol") {
+        let arms = symbol_arms(body);
+        for (name, sym) in &table.states {
+            match arms.iter().find(|(v, _, _)| v == name) {
+                Some((_, c, _)) if c == sym => {}
+                Some((_, c, aline)) => push(
+                    &mut diags,
+                    STATE_FILE,
+                    *aline,
+                    format!("`symbol()` maps {name} to '{c}' but the Fig. 6 table says '{sym}'"),
+                ),
+                None => push(
+                    &mut diags,
+                    STATE_FILE,
+                    line,
+                    format!("`symbol()` has no arm for state {name}"),
+                ),
+            }
+        }
+    } else {
+        push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `fn symbol` to check paper symbols".into(),
+        );
+    }
+    if let Some((body, line)) = fn_body(&norm, "from_symbol") {
+        let arms = from_symbol_arms(body);
+        for (name, sym) in &table.states {
+            match arms.iter().find(|(c, _, _)| c == sym) {
+                Some((_, v, _)) if v == name => {}
+                Some((_, v, aline)) => push(
+                    &mut diags,
+                    STATE_FILE,
+                    *aline,
+                    format!("`from_symbol()` maps '{sym}' to {v} but the Fig. 6 table says {name}"),
+                ),
+                None => push(
+                    &mut diags,
+                    STATE_FILE,
+                    line,
+                    format!("`from_symbol()` has no arm for symbol '{sym}'"),
+                ),
+            }
+        }
+    } else {
+        push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `fn from_symbol`".into(),
+        );
+    }
+
+    // --- Transition set -------------------------------------------------
+    match enum_variants(&norm, "Transition") {
+        Some((variants, line)) => diff_sets(
+            &mut diags,
+            STATE_FILE,
+            line,
+            "Transition variant",
+            &variants.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            &table
+                .transitions
+                .iter()
+                .map(|t| t.variant.clone())
+                .collect::<Vec<_>>(),
+        ),
+        None => push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `enum Transition` to check against the Fig. 6 table".into(),
+        ),
+    }
+
+    // --- classify(): (from, to) -> Some(variant) ------------------------
+    if let Some((body, line)) = fn_body(&norm, "classify") {
+        let arms = classify_arms(body);
+        for t in &table.transitions {
+            match arms
+                .iter()
+                .find(|(f, to, _, _)| f == &t.from && to == &t.to)
+            {
+                Some((_, _, v, _)) if *v == t.variant => {}
+                Some((_, _, v, aline)) => push(
+                    &mut diags,
+                    STATE_FILE,
+                    *aline,
+                    format!(
+                        "`classify({} -> {})` yields {v} but Fig. 6 transition {} is {}",
+                        t.from, t.to, t.number, t.variant
+                    ),
+                ),
+                None => push(
+                    &mut diags,
+                    STATE_FILE,
+                    line,
+                    format!(
+                        "`classify()` has no arm for Fig. 6 transition {} ({} -> {})",
+                        t.number, t.from, t.to
+                    ),
+                ),
+            }
+        }
+        for (f, to, v, aline) in &arms {
+            if !table
+                .transitions
+                .iter()
+                .any(|t| t.from == *f && t.to == *to)
+            {
+                push(
+                    &mut diags,
+                    STATE_FILE,
+                    *aline,
+                    format!(
+                        "`classify()` accepts {f} -> {to} (as {v}) but Fig. 6 \
+                         defines no such transition"
+                    ),
+                );
+            }
+        }
+    } else {
+        push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `fn classify`".into(),
+        );
+    }
+
+    // --- endpoints(): variant -> (from, to) -----------------------------
+    if let Some((body, line)) = fn_body(&norm, "endpoints") {
+        let arms = endpoint_arms(body);
+        for t in &table.transitions {
+            match arms.iter().find(|(v, _, _, _)| *v == t.variant) {
+                Some((_, f, to, _)) if *f == t.from && *to == t.to => {}
+                Some((_, f, to, aline)) => push(
+                    &mut diags,
+                    STATE_FILE,
+                    *aline,
+                    format!(
+                        "`endpoints({})` yields ({f}, {to}) but Fig. 6 transition {} \
+                         is ({}, {})",
+                        t.variant, t.number, t.from, t.to
+                    ),
+                ),
+                None => push(
+                    &mut diags,
+                    STATE_FILE,
+                    line,
+                    format!("`endpoints()` has no arm for {}", t.variant),
+                ),
+            }
+        }
+    } else {
+        push(
+            &mut diags,
+            STATE_FILE,
+            1,
+            "cannot find `fn endpoints`".into(),
+        );
+    }
+
+    // --- Runtime detector: set_state coverage ---------------------------
+    let det = normalize(&lex(detector_src).tokens);
+    let targets = set_state_targets(&det);
+    if targets.is_empty() {
+        push(
+            &mut diags,
+            DETECTOR_FILE,
+            1,
+            "cannot find any `set_state(TernaryState::..)` call — the spec pass \
+             no longer sees the runtime detector's transitions"
+                .into(),
+        );
+    }
+    for (name, _) in &table.states {
+        if !targets.iter().any(|(t, _)| t == name) {
+            push(
+                &mut diags,
+                DETECTOR_FILE,
+                1,
+                format!(
+                    "the runtime detector never enters state {name}: no \
+                     `set_state(TernaryState::{name})` call found"
+                ),
+            );
+        }
+    }
+    for (t, line) in &targets {
+        if !table.has_state(t) {
+            push(
+                &mut diags,
+                DETECTOR_FILE,
+                *line,
+                format!("`set_state(TernaryState::{t})` targets a state the Fig. 6 table does not declare"),
+            );
+        }
+    }
+
+    diags
+}
+
+/// Run the pass over a workspace file listing: find the two source files
+/// and diff them against `table_text`. Missing inputs become findings
+/// (deleting the table or moving the state machine must not silently
+/// disable the pass).
+pub fn check_workspace(table_text: &str, files: &[(String, String)]) -> Vec<Diagnostic> {
+    let table = match parse_table(table_text) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![Diagnostic {
+                file: SPEC_TABLE_PATH.to_string(),
+                line: 1,
+                rule: Rule::SpecMismatch,
+                message: format!("cannot parse the Fig. 6 spec table: {e}"),
+            }]
+        }
+    };
+    let src_of = |want: &str| {
+        files
+            .iter()
+            .find(|(rel, _)| rel == want)
+            .map(|(_, s)| s.as_str())
+    };
+    match (src_of(STATE_FILE), src_of(DETECTOR_FILE)) {
+        (Some(state), Some(det)) => check(&table, state, det),
+        _ => vec![Diagnostic {
+            file: SPEC_TABLE_PATH.to_string(),
+            line: 1,
+            rule: Rule::SpecMismatch,
+            message: format!(
+                "spec pass expects {STATE_FILE} and {DETECTOR_FILE} to exist; \
+                 if the state machine moved, update simlint::spec"
+            ),
+        }],
+    }
+}
+
+// --- token helpers ------------------------------------------------------
+
+/// Drop path qualifiers: `TernaryState :: NonCongestion` becomes the bare
+/// `NonCongestion`, so arm patterns match with or without `use` imports.
+fn normalize(toks: &[Token]) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_qualifier = toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident);
+        if is_qualifier {
+            i += 3; // drop `Qual ::`, keep scanning from the segment
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// The body tokens (exclusive of braces) and signature line of `fn name`.
+fn fn_body<'a>(toks: &'a [Token], name: &str) -> Option<(&'a [Token], u32)> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
+            let line = toks[i].line;
+            let mut k = i + 2;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            let end = matching_brace(toks, k)?;
+            return Some((&toks[k + 1..end], line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The unit variants of `enum name` with their lines, plus the enum line.
+fn enum_variants(toks: &[Token], name: &str) -> Option<(Vec<(String, u32)>, u32)> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            let line = toks[i].line;
+            let mut k = i + 2;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            let end = matching_brace(toks, k)?;
+            let mut variants = Vec::new();
+            let mut j = k + 1;
+            while j < end {
+                // Skip `#[..]` attribute groups on variants.
+                if toks[j].is_punct('#') && toks.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+                    let mut depth = 0i64;
+                    let mut m = j + 1;
+                    while m < end {
+                        if toks[m].is_punct('[') {
+                            depth += 1;
+                        } else if toks[m].is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    j = m + 1;
+                    continue;
+                }
+                if toks[j].kind == TokKind::Ident {
+                    variants.push((toks[j].text.clone(), toks[j].line));
+                }
+                j += 1;
+            }
+            return Some((variants, line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `(from, to) => Some(variant)` arms.
+fn classify_arms(body: &[Token]) -> Vec<(String, String, String, u32)> {
+    let mut arms = Vec::new();
+    for (j, t) in body.iter().enumerate() {
+        let ok = t.is_punct('(')
+            && matches!(body.get(j + 1), Some(a) if a.kind == TokKind::Ident)
+            && body.get(j + 2).is_some_and(|x| x.is_punct(','))
+            && matches!(body.get(j + 3), Some(b) if b.kind == TokKind::Ident)
+            && body.get(j + 4).is_some_and(|x| x.is_punct(')'))
+            && body.get(j + 5).is_some_and(|x| x.is_punct('='))
+            && body.get(j + 6).is_some_and(|x| x.is_punct('>'))
+            && body.get(j + 7).is_some_and(|x| x.is_ident("Some"))
+            && body.get(j + 8).is_some_and(|x| x.is_punct('('))
+            && matches!(body.get(j + 9), Some(v) if v.kind == TokKind::Ident)
+            && body.get(j + 10).is_some_and(|x| x.is_punct(')'));
+        if ok {
+            arms.push((
+                body[j + 1].text.clone(),
+                body[j + 3].text.clone(),
+                body[j + 9].text.clone(),
+                t.line,
+            ));
+        }
+    }
+    arms
+}
+
+/// `variant => (from, to)` arms.
+fn endpoint_arms(body: &[Token]) -> Vec<(String, String, String, u32)> {
+    let mut arms = Vec::new();
+    for (j, t) in body.iter().enumerate() {
+        let ok = t.kind == TokKind::Ident
+            && body.get(j + 1).is_some_and(|x| x.is_punct('='))
+            && body.get(j + 2).is_some_and(|x| x.is_punct('>'))
+            && body.get(j + 3).is_some_and(|x| x.is_punct('('))
+            && matches!(body.get(j + 4), Some(a) if a.kind == TokKind::Ident)
+            && body.get(j + 5).is_some_and(|x| x.is_punct(','))
+            && matches!(body.get(j + 6), Some(b) if b.kind == TokKind::Ident)
+            && body.get(j + 7).is_some_and(|x| x.is_punct(')'));
+        if ok {
+            arms.push((
+                t.text.clone(),
+                body[j + 4].text.clone(),
+                body[j + 6].text.clone(),
+                t.line,
+            ));
+        }
+    }
+    arms
+}
+
+/// `variant => 'c'` arms (the paper-symbol map).
+fn symbol_arms(body: &[Token]) -> Vec<(String, char, u32)> {
+    let mut arms = Vec::new();
+    for (j, t) in body.iter().enumerate() {
+        let ok = t.kind == TokKind::Ident
+            && body.get(j + 1).is_some_and(|x| x.is_punct('='))
+            && body.get(j + 2).is_some_and(|x| x.is_punct('>'))
+            && matches!(body.get(j + 3), Some(l) if l.kind == TokKind::Literal && l.text.chars().count() == 1);
+        if ok {
+            arms.push((
+                t.text.clone(),
+                body[j + 3].text.chars().next().expect("one char"),
+                t.line,
+            ));
+        }
+    }
+    arms
+}
+
+/// `'c' => Some(variant)` arms (the inverse symbol map).
+fn from_symbol_arms(body: &[Token]) -> Vec<(char, String, u32)> {
+    let mut arms = Vec::new();
+    for (j, t) in body.iter().enumerate() {
+        let ok = t.kind == TokKind::Literal
+            && t.text.chars().count() == 1
+            && body.get(j + 1).is_some_and(|x| x.is_punct('='))
+            && body.get(j + 2).is_some_and(|x| x.is_punct('>'))
+            && body.get(j + 3).is_some_and(|x| x.is_ident("Some"))
+            && body.get(j + 4).is_some_and(|x| x.is_punct('('))
+            && matches!(body.get(j + 5), Some(v) if v.kind == TokKind::Ident);
+        if ok {
+            arms.push((
+                t.text.chars().next().expect("one char"),
+                body[j + 5].text.clone(),
+                t.line,
+            ));
+        }
+    }
+    arms
+}
+
+/// Every `set_state(State)` call target (normalized tokens).
+fn set_state_targets(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (j, t) in toks.iter().enumerate() {
+        let ok = t.is_ident("set_state")
+            && toks.get(j + 1).is_some_and(|x| x.is_punct('('))
+            && matches!(toks.get(j + 2), Some(v) if v.kind == TokKind::Ident)
+            && toks.get(j + 3).is_some_and(|x| x.is_punct(')'));
+        if ok {
+            out.push((toks[j + 2].text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// Report any element present on one side only.
+fn diff_sets(
+    diags: &mut Vec<Diagnostic>,
+    file: &str,
+    line: u32,
+    what: &str,
+    found: &[String],
+    want: &[String],
+) {
+    for f in found {
+        if !want.contains(f) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: Rule::SpecMismatch,
+                message: format!("{what} {f} is not in the Fig. 6 spec table"),
+            });
+        }
+    }
+    for w in want {
+        if !found.contains(w) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: Rule::SpecMismatch,
+                message: format!(
+                    "the Fig. 6 spec table lists {what} {w} but the code does not define it"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = include_str!("../fig6.spec");
+
+    fn committed_sources() -> (String, String) {
+        let root = crate::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        (
+            std::fs::read_to_string(root.join(STATE_FILE)).expect("state.rs"),
+            std::fs::read_to_string(root.join(DETECTOR_FILE)).expect("detector.rs"),
+        )
+    }
+
+    #[test]
+    fn committed_table_parses_to_three_states_six_transitions() {
+        let t = parse_table(TABLE).expect("committed table parses");
+        assert_eq!(t.states.len(), 3);
+        assert_eq!(t.transitions.len(), 6);
+        assert_eq!(t.states[2], ("Undetermined".to_string(), '/'));
+    }
+
+    #[test]
+    fn committed_state_machine_conforms() {
+        let (state, det) = committed_sources();
+        let t = parse_table(TABLE).expect("table");
+        let diags = check(&t, &state, &det);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn swapped_classify_endpoints_are_caught() {
+        let (state, det) = committed_sources();
+        // Mutate: swap the targets of T4/T5 in classify — a plausible
+        // editing slip that flips which release outcome counts as
+        // congestion.
+        let mutated = state
+            .replace(
+                "(Undetermined, NonCongestion) => Some(T4UndeterminedToNonCongestion)",
+                "(Undetermined, NonCongestion) => Some(T5UndeterminedToCongestion)",
+            )
+            .replace(
+                "(Undetermined, Congestion) => Some(T5UndeterminedToCongestion)",
+                "(Undetermined, Congestion) => Some(T4UndeterminedToNonCongestion)",
+            );
+        assert_ne!(mutated, state, "mutation must apply");
+        let t = parse_table(TABLE).expect("table");
+        let diags = check(&t, &mutated, &det);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("T4UndeterminedToNonCongestion")
+                    || d.message.contains("T5UndeterminedToCongestion")),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn illegal_seventh_transition_is_caught() {
+        let (state, det) = committed_sources();
+        let mutated = state.replace(
+            "_ => None,",
+            "(NonCongestion, NonCongestion) => Some(T1NonCongestionToCongestion),\n_ => None,",
+        );
+        assert_ne!(mutated, state);
+        let t = parse_table(TABLE).expect("table");
+        let diags = check(&t, &mutated, &det);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("defines no such transition")),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn wrong_paper_symbol_is_caught() {
+        let (state, det) = committed_sources();
+        let mutated = state.replace(
+            "TernaryState::Undetermined => '/',",
+            "TernaryState::Undetermined => '?',",
+        );
+        assert_ne!(mutated, state);
+        let t = parse_table(TABLE).expect("table");
+        let diags = check(&t, &mutated, &det);
+        assert!(
+            diags.iter().any(|d| d.message.contains("'?'")),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn detector_losing_a_state_is_caught() {
+        let (state, det) = committed_sources();
+        let mutated = det.replace("self.set_state(TernaryState::Undetermined);", "");
+        assert_ne!(mutated, det);
+        let t = parse_table(TABLE).expect("table");
+        let diags = check(&t, &state, &mutated);
+        assert!(
+            diags.iter().any(|d| d.file == DETECTOR_FILE
+                && d.message.contains("never enters state Undetermined")),
+            "{diags:#?}"
+        );
+    }
+}

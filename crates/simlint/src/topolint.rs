@@ -88,6 +88,21 @@ pub struct TopoDiag {
     pub check: &'static str,
     /// Human-readable description, with switch/port hops where relevant.
     pub message: String,
+    /// For cycle findings: the hops as `(node name, egress port)`, in
+    /// dependency order, first hop *not* repeated at the end. Empty for
+    /// non-cycle checks. This is the machine-readable form `lint --json`
+    /// emits and the runtime-watchdog cross-check consumes.
+    pub cycle: Vec<(String, u16)>,
+}
+
+/// A cycle-free diagnostic.
+fn diag(severity: Severity, check: &'static str, message: String) -> TopoDiag {
+    TopoDiag {
+        severity,
+        check,
+        message,
+        cycle: Vec::new(),
+    }
 }
 
 impl fmt::Display for TopoDiag {
@@ -155,16 +170,16 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
     }
     if !unreachable.is_empty() {
         let (s, d) = unreachable[0];
-        diags.push(TopoDiag {
-            severity: Severity::Error,
-            check: "unreachable",
-            message: format!(
+        diags.push(diag(
+            Severity::Error,
+            "unreachable",
+            format!(
                 "{} host pair(s) have no route, e.g. {} -> {}",
                 unreachable.len(),
                 topo.name(s),
                 topo.name(d)
             ),
-        });
+        ));
     }
     for (s, d, path) in &spec.route_overrides {
         let valid = path.len() >= 2
@@ -177,16 +192,16 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                 .iter()
                 .all(|&n| topo.kind(n) == NodeKind::Switch);
         if !valid {
-            diags.push(TopoDiag {
-                severity: Severity::Error,
-                check: "bad-override",
-                message: format!(
+            diags.push(diag(
+                Severity::Error,
+                "bad-override",
+                format!(
                     "route override {} -> {} does not follow physical links \
                      host-to-host through switches",
                     topo.name(*s),
                     topo.name(*d)
                 ),
-            });
+            ));
         }
     }
 
@@ -230,6 +245,86 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                         "PFC PAUSE"
                     },
                 ),
+                cycle: cycle
+                    .iter()
+                    .map(|&(n, p)| (topo.name(n).to_string(), p))
+                    .collect(),
+            });
+        }
+    }
+
+    // --- Fault-plan route swaps -----------------------------------------
+    // A `RouteChange(Some(set))` fault event atomically rebuilds the
+    // routing tables from the pristine baseline and pins every path in
+    // `fault_plan.route_sets[set]` (the runtime's `RouteUpdate` handler).
+    // Compose each registered set the same way here and re-run the cycle
+    // finder: a plan that swaps routes into a cyclic buffer dependency
+    // becomes a *static* finding, cross-checked at runtime by the
+    // PFC-deadlock watchdog. Paths the runtime would panic on
+    // (non-link hops, non-host destination) are flagged instead of
+    // applied.
+    for (si, paths) in spec.config.fault_plan.route_sets.iter().enumerate() {
+        let mut applicable = true;
+        for (pi, path) in paths.iter().enumerate() {
+            let valid = path.len() >= 2
+                && path
+                    .windows(2)
+                    .all(|w| topo.port_towards(w[0], w[1]).is_some())
+                && path.last().is_some_and(|&n| topo.kind(n) == NodeKind::Host);
+            if !valid {
+                applicable = false;
+                diags.push(diag(
+                    Severity::Error,
+                    "fault-route-invalid",
+                    format!(
+                        "fault plan route set {si}, path {pi} ({}): does not follow \
+                         physical links to a host — the runtime RouteUpdate would panic \
+                         installing it",
+                        path.iter()
+                            .map(|&n| topo.name(n).to_string())
+                            .collect::<Vec<_>>()
+                            .join(" -> ")
+                    ),
+                ));
+            }
+        }
+        if !applicable || spec.config.is_lossy() {
+            continue;
+        }
+        let mut swapped = routing.clone();
+        for (_, _, path) in &spec.route_overrides {
+            // Baseline at runtime includes the scenario's overrides;
+            // mirror that before pinning the fault set (skipping overrides
+            // already reported as bad).
+            if path.len() >= 2
+                && path
+                    .windows(2)
+                    .all(|w| topo.port_towards(w[0], w[1]).is_some())
+                && path.last().is_some_and(|&n| topo.kind(n) == NodeKind::Host)
+            {
+                swapped.apply_path(topo, path);
+            }
+        }
+        for path in paths {
+            swapped.apply_path(topo, path);
+        }
+        for cycle in find_cycles(&swapped.channel_dependencies(topo)) {
+            let mut hops: Vec<String> = cycle.iter().map(|&c| chan_name(topo, c)).collect();
+            hops.push(chan_name(topo, cycle[0]));
+            diags.push(TopoDiag {
+                severity: Severity::Error,
+                check: "fault-route-cycle",
+                message: format!(
+                    "fault plan route set {si} swaps routing into a cyclic buffer \
+                     dependency ({} channels): {} — after the RouteChange fires, every \
+                     hop can wait on the next under lossless back-pressure",
+                    cycle.len(),
+                    hops.join(" -> "),
+                ),
+                cycle: cycle
+                    .iter()
+                    .map(|&(n, p)| (topo.name(n).to_string(), p))
+                    .collect(),
             });
         }
     }
@@ -251,10 +346,10 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                 let l = topo.link(example.0, example.1);
                 let need = required_headroom_bytes(l.rate, l.delay, spec.config.mtu);
                 if need > spec.pfc_headroom_bytes {
-                    diags.push(TopoDiag {
-                        severity: Severity::Error,
-                        check: "pfc-headroom",
-                        message: format!(
+                    diags.push(diag(
+                        Severity::Error,
+                        "pfc-headroom",
+                        format!(
                             "{} directed link(s) at {} / {:?} delay (e.g. {}) need {} B of \
                              PAUSE headroom above X_off but only {} B are provisioned — \
                              worst-case bursts are guaranteed to drop",
@@ -265,7 +360,7 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                             need,
                             spec.pfc_headroom_bytes
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -274,10 +369,10 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                 let l = topo.link(example.0, example.1);
                 let slack = l.rate.bytes_in(l.delay);
                 if !cbfc.sustains_line_rate(bps, slack) {
-                    diags.push(TopoDiag {
-                        severity: Severity::Warning,
-                        check: "cbfc-line-rate",
-                        message: format!(
+                    diags.push(diag(
+                        Severity::Warning,
+                        "cbfc-line-rate",
+                        format!(
                             "{} directed link(s) at {} / {:?} delay (e.g. {}): CBFC buffer \
                              ({} blocks) cannot sustain line rate across the {:?} FCCL \
                              period (B > C*T_c violated) — uncongested senders will stall \
@@ -289,7 +384,7 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                             cbfc.buffer_blocks,
                             cbfc.update_period
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -333,10 +428,10 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
         }
         if !asymmetric.is_empty() {
             let (s, d) = asymmetric[0];
-            diags.push(TopoDiag {
-                severity: Severity::Warning,
-                check: "route-asymmetry",
-                message: format!(
+            diags.push(diag(
+                Severity::Warning,
+                "route-asymmetry",
+                format!(
                     "{} host pair(s) take different forward and reverse D-mod-k paths, \
                      e.g. {} <-> {} — congestion signals (CNP/BECN) will not retrace \
                      the data path",
@@ -344,7 +439,7 @@ pub fn analyze(spec: &TopoSpec) -> TopoReport {
                     topo.name(s),
                     topo.name(d)
                 ),
-            });
+            ));
         }
     }
 
@@ -540,6 +635,95 @@ mod tests {
             msg.contains("s0[") && msg.contains("s1[") && msg.contains("s2["),
             "{msg}"
         );
+    }
+
+    /// A 3-switch ring, one host per switch: `(topo, switches, hosts)`.
+    fn ring3() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = Topology::builder();
+        let s: Vec<NodeId> = (0..3).map(|i| b.switch(format!("s{i}"))).collect();
+        let h: Vec<NodeId> = (0..3).map(|i| b.host(format!("h{i}"))).collect();
+        let r = Rate::from_gbps(40);
+        let d = SimDuration::from_us(4);
+        for i in 0..3 {
+            b.link(h[i], s[i], r, d);
+            b.link(s[i], s[(i + 1) % 3], r, d);
+        }
+        (b.build(), s, h)
+    }
+
+    #[test]
+    fn fault_plan_route_swap_into_a_cycle_is_a_static_error() {
+        let (topo, s, h) = ring3();
+        let mut cfg = cee(100);
+        // The deadlock_ring construction: every host two hops clockwise.
+        cfg.fault_plan.route_sets.push(
+            (0..3)
+                .map(|i| vec![h[i], s[i], s[(i + 1) % 3], s[(i + 2) % 3], h[(i + 2) % 3]])
+                .collect(),
+        );
+        cfg.fault_plan.route_change(SimTime::ZERO, Some(0));
+        let spec = TopoSpec::new("ring-swap", topo.clone(), cfg, RouteSelect::Ecmp);
+        let rep = analyze(&spec);
+        // Baseline shortest paths on an odd ring are acyclic...
+        assert!(
+            !rep.diags.iter().any(|d| d.check == "deadlock-cycle"),
+            "{:?}",
+            rep.diags
+        );
+        // ...but the composed fault set is the classic 3-cycle.
+        let cyc: Vec<&TopoDiag> = rep
+            .diags
+            .iter()
+            .filter(|d| d.check == "fault-route-cycle")
+            .collect();
+        assert_eq!(cyc.len(), 1, "{:?}", rep.diags);
+        assert_eq!(cyc[0].cycle.len(), 3);
+        let want: BTreeSet<(String, u16)> = (0..3)
+            .map(|i| {
+                let p = topo.port_towards(s[i], s[(i + 1) % 3]).expect("ring link");
+                (format!("s{i}"), p)
+            })
+            .collect();
+        let got: BTreeSet<(String, u16)> = cyc[0].cycle.iter().cloned().collect();
+        assert_eq!(got, want);
+        assert!(rep.has_errors());
+    }
+
+    #[test]
+    fn fault_plan_path_off_the_physical_links_is_flagged_not_applied() {
+        let (topo, s, h) = ring3();
+        let mut cfg = cee(100);
+        // h0 -> s0 -> h1 skips the link structure: s0 has no link to h1.
+        cfg.fault_plan.route_sets.push(vec![vec![h[0], s[0], h[1]]]);
+        cfg.fault_plan.route_change(SimTime::ZERO, Some(0));
+        let spec = TopoSpec::new("ring-bad-swap", topo, cfg, RouteSelect::Ecmp);
+        let rep = analyze(&spec);
+        assert!(
+            rep.diags.iter().any(|d| d.check == "fault-route-invalid"),
+            "{:?}",
+            rep.diags
+        );
+        assert!(!rep.diags.iter().any(|d| d.check == "fault-route-cycle"));
+        assert!(rep.has_errors());
+    }
+
+    #[test]
+    fn baseline_cycle_diag_carries_structured_hops() {
+        let (topo, s, h) = ring3();
+        let mut spec = TopoSpec::new("triangle", topo, cee(100), RouteSelect::Ecmp);
+        spec.route_overrides = vec![
+            (h[0], h[2], vec![h[0], s[0], s[1], s[2], h[2]]),
+            (h[1], h[0], vec![h[1], s[1], s[2], s[0], h[0]]),
+            (h[2], h[1], vec![h[2], s[2], s[0], s[1], h[1]]),
+        ];
+        let rep = analyze(&spec);
+        let cyc = rep
+            .diags
+            .iter()
+            .find(|d| d.check == "deadlock-cycle")
+            .expect("cycle reported");
+        assert_eq!(cyc.cycle.len(), 3, "{:?}", cyc.cycle);
+        assert!(cyc.cycle.iter().all(|(n, _)| n.starts_with('s')));
     }
 
     #[test]

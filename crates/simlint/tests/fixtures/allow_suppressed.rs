@@ -1,6 +1,10 @@
 //! Fixture: the same hot-path violations as hot_path_panic.rs, fully
 //! suppressed by scoped allow directives with reasons.
 
+pub fn drive(v: &[u64], o: Option<u64>) -> u64 {
+    hot(v, o) + single_line(v)
+}
+
 // simlint: allow(hot-path-panic) -- fixture: indices proven in bounds by construction
 pub fn hot(v: &[u64], o: Option<u64>) -> u64 {
     let a = o.unwrap();

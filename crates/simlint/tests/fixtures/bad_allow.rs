@@ -1,5 +1,9 @@
 //! Fixture: malformed allow directives (unknown rule, missing reason).
 
+pub fn drive(v: &[u64]) -> u64 {
+    a(v) + b(v)
+}
+
 // simlint: allow(no-such-rule) -- reason present but rule unknown
 pub fn a(v: &[u64]) -> u64 {
     v[0]

@@ -1,0 +1,24 @@
+//! Fixture: heap allocation on the event path — macro, constructor,
+//! turbofish constructor and allocating method forms — plus the same
+//! code in an unreachable function (fine) and a suppressed site.
+
+pub fn drive(v: &[u8]) -> usize {
+    hot(v)
+}
+
+pub fn hot(v: &[u8]) -> usize {
+    let a = vec![0u8; 4];
+    let b = format!("{}", v.len());
+    let c = Vec::<u8>::new();
+    let d = String::with_capacity(8);
+    let e = v.to_vec();
+    // simlint: allow(hot-path-alloc) -- fixture: one-shot diagnostics string
+    let f = v.len().to_string();
+    a.len() + b.len() + c.len() + d.len() + e.len() + f.len()
+}
+
+pub fn cold(v: &[u8]) -> Vec<u8> {
+    let mut out = v.to_vec();
+    out.extend(vec![1u8, 2]);
+    out
+}

@@ -1,6 +1,17 @@
-//! Fixture: unwrap/expect/indexing in a hot-path module without an allow
-//! directive.
+//! Fixture: unwrap/expect/indexing in a function reachable from the
+//! `drive()` dispatch root, without an allow directive — plus an
+//! identical unreachable twin that must NOT be flagged.
+pub fn drive(v: &[u64], o: Option<u64>) -> u64 {
+    hot(v, o)
+}
+
 pub fn hot(v: &[u64], o: Option<u64>) -> u64 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    a + b + v[0]
+}
+
+pub fn cold(v: &[u64], o: Option<u64>) -> u64 {
     let a = o.unwrap();
     let b = o.expect("present");
     a + b + v[0]

@@ -1,0 +1,16 @@
+//! Fixture: a live allow directive (suppresses a real finding) next to a
+//! stale one whose scope no longer contains anything to suppress.
+
+pub fn drive(v: &[u64]) -> u64 {
+    live(v) + dead(v)
+}
+
+// simlint: allow(hot-path-panic) -- fixture: index bounded by caller
+pub fn live(v: &[u64]) -> u64 {
+    v[0]
+}
+
+// simlint: allow(hot-path-panic) -- fixture: nothing left to suppress here
+pub fn dead(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}

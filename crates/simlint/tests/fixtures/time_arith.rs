@@ -1,0 +1,21 @@
+//! Fixture: unchecked arithmetic on raw `as_ps()` picosecond u64s in an
+//! event-path-reachable function. Division, u128 widening and shifts are
+//! fine; `+`/`-`/`*` directly against the raw u64 are not.
+
+pub fn drive(t: SimTime, d: SimDuration) -> u64 {
+    hot(t, d)
+}
+
+pub fn hot(t: SimTime, d: SimDuration) -> u64 {
+    let bad_sum = t.as_ps() + d.as_ps();
+    let bad_scaled = 3 * d.as_ps();
+    let ok_div = t.as_ps() / 2;
+    let ok_wide = (t.as_ps() as u128) * 3;
+    // simlint: allow(time-arith) -- fixture: bounded by construction
+    let ok_allowed = t.as_ps() - 1;
+    bad_sum + bad_scaled + ok_div + ok_wide as u64 + ok_allowed
+}
+
+pub fn cold(t: SimTime) -> u64 {
+    t.as_ps() * 1000
+}

@@ -1,12 +1,16 @@
 //! Fixture-driven tests: each lint rule fires on a known-bad snippet, allow
 //! directives suppress exactly what they claim to, and — the keystone — the
-//! committed workspace itself lints clean.
+//! committed workspace itself lints clean (zero findings, zero stale
+//! allows, Fig. 6 conformant).
 //!
 //! The snippets live in `tests/fixtures/` (excluded from the workspace
 //! walker) and are fed through [`simlint::lint_file`] under fake relative
-//! paths so each lands in the file class its rule targets.
+//! paths so each lands in the file class its rule targets. Since PR 8 the
+//! hot set is call-graph reachability from the `drive()` dispatch root, so
+//! each hot-rule fixture carries its own `drive` plus an unreachable
+//! `cold` twin.
 
-use simlint::{find_workspace_root, lint_file, lint_workspace, Rule};
+use simlint::{find_workspace_root, lint_file, lint_workspace, lint_workspace_with_table, Rule};
 
 /// Lint `src` as if it lived at `relpath` and return the fired rules.
 fn rules_for(relpath: &str, src: &str) -> Vec<Rule> {
@@ -52,14 +56,43 @@ fn thread_spawn_fires_outside_the_harness() {
 }
 
 #[test]
-fn hot_path_panic_fires_only_in_hot_path_modules() {
+fn hot_path_panic_follows_drive_reachability() {
     let src = include_str!("fixtures/hot_path_panic.rs");
-    let rules = rules_for("crates/netsim/src/switch.rs", src);
-    // unwrap + expect + one indexing site.
-    assert_eq!(rules.len(), 3, "{rules:?}");
-    assert!(rules.iter().all(|r| *r == Rule::HotPathPanic), "{rules:?}");
-    // The same code in a non-hot-path module is allowed.
-    assert!(rules_for("crates/netsim/src/topology.rs", src).is_empty());
+    let diags = lint_file("crates/netsim/src/host.rs", src);
+    // unwrap + expect + one indexing site — in the reachable `hot` only;
+    // the byte-identical `cold` (lines 14..) is off the event path.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::HotPathPanic));
+    assert!(diags.iter().all(|d| d.line <= 12), "{diags:?}");
+}
+
+#[test]
+fn hot_path_alloc_flags_reachable_allocations() {
+    let src = include_str!("fixtures/hot_path_alloc.rs");
+    let diags = lint_file("crates/netsim/src/host.rs", src);
+    // vec!, format!, Vec::<u8>::new, String::with_capacity, .to_vec —
+    // the allowed .to_string and everything in `cold` stay silent.
+    assert_eq!(diags.len(), 5, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::HotPathAlloc));
+}
+
+#[test]
+fn time_arith_flags_raw_ps_math_on_the_event_path() {
+    let src = include_str!("fixtures/time_arith.rs");
+    let diags = lint_file("crates/flowctl/src/bad.rs", src);
+    // `t.as_ps() + d.as_ps()` flags both operands; `3 * d.as_ps()` flags
+    // one more. Division, u128 widening, the allow, and `cold` are quiet.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::TimeArith));
+}
+
+#[test]
+fn stale_allow_fires_and_live_allow_does_not() {
+    let src = include_str!("fixtures/stale_allow.rs");
+    let diags = lint_file("crates/netsim/src/host.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::StaleAllow);
+    assert_eq!(diags[0].line, 13, "the dead directive's own line");
 }
 
 #[test]
@@ -76,7 +109,7 @@ fn missing_forbid_unsafe_fires_on_crate_roots_only() {
 #[test]
 fn allow_directives_suppress_their_scope() {
     let src = include_str!("fixtures/allow_suppressed.rs");
-    let diags = lint_file("crates/netsim/src/switch.rs", src);
+    let diags = lint_file("crates/netsim/src/host.rs", src);
     assert!(
         diags.is_empty(),
         "all violations covered by allows: {diags:?}"
@@ -86,7 +119,7 @@ fn allow_directives_suppress_their_scope() {
 #[test]
 fn malformed_allows_are_themselves_findings() {
     let src = include_str!("fixtures/bad_allow.rs");
-    let rules = rules_for("crates/netsim/src/switch.rs", src);
+    let rules = rules_for("crates/netsim/src/host.rs", src);
     // Each bad directive reports bad-allow AND fails to suppress the
     // indexing under it.
     assert_eq!(
@@ -101,7 +134,38 @@ fn malformed_allows_are_themselves_findings() {
     );
 }
 
-/// The keystone: the committed workspace has zero findings. Any rule
+#[test]
+fn mutated_fig6_table_is_caught_against_the_real_sources() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("simlint lives inside the workspace");
+    let mutated = root.join("crates/simlint/tests/fixtures/fig6_mutated.spec");
+    let (diags, _) =
+        lint_workspace_with_table(&root, Some(&mutated)).expect("workspace walk succeeds");
+    let spec: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::SpecMismatch)
+        .collect();
+    assert!(
+        !spec.is_empty(),
+        "swapping T4/T5 targets in the table must mismatch classify()/endpoints()"
+    );
+    assert!(
+        spec.iter().any(|d| d.message.contains("T4")
+            || d.message.contains("T5")
+            || d.message.contains("Undetermined")),
+        "{spec:?}"
+    );
+    // Only the spec pass may complain: the code lint is independent of
+    // the table.
+    assert!(
+        diags.iter().all(|d| d.rule == Rule::SpecMismatch),
+        "{diags:?}"
+    );
+}
+
+/// The keystone: the committed workspace has zero findings — the code
+/// rules (including the call-graph hot rules), zero stale allows, and the
+/// implemented state machine matches the committed Fig. 6 table. Any rule
 /// violation introduced by a future change fails this test before it ever
 /// reaches the CI `tcdsim lint` gate.
 #[test]

@@ -7,11 +7,34 @@ cd "$(dirname "$0")/.."
 echo "=== cargo build --release ==="
 cargo build --release
 
-# Static analysis gates ahead of the test passes: code-level determinism
-# rules plus the buffer-dependency analysis of every committed scenario
-# topology. `tcdsim lint` exits non-zero on any finding.
+# Static analysis gates ahead of the test passes: the call-graph-aware
+# code lint (hot-path rules, Fig. 6 spec conformance, stale-allow audit)
+# plus the buffer-dependency and fault-plan analysis of every committed
+# scenario topology. `tcdsim lint` exits non-zero on any finding.
 echo "=== tcdsim lint ==="
 ./target/release/tcdsim lint
+
+# The same gate, machine-readable: the JSON report must parse as ok and
+# name a non-empty hot-function set (the reachability evidence the
+# hot-path rules run on).
+echo "=== tcdsim lint --json (smoke) ==="
+mkdir -p target/ci
+./target/release/tcdsim lint --json > target/ci/lint.json
+grep -q '"ok":true' target/ci/lint.json
+grep -q '"hot_functions":\[{' target/ci/lint.json
+
+# Negative smokes: the seeded route-swap cycle and a mutated Fig. 6 table
+# must both be *caught* (exit 1). A gate that cannot fail gates nothing.
+echo "=== tcdsim lint (seeded negatives) ==="
+if ./target/release/tcdsim lint --topo seeded-fault-route-swap > /dev/null; then
+    echo "seeded-fault-route-swap was not caught" >&2
+    exit 1
+fi
+if ./target/release/tcdsim lint --code \
+    --spec-table crates/simlint/tests/fixtures/fig6_mutated.spec > /dev/null; then
+    echo "mutated Fig. 6 table was not caught" >&2
+    exit 1
+fi
 
 # Observability exporters, from the unaudited release binary. Both
 # commands self-validate their JSON before writing; the metrics

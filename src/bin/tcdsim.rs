@@ -60,7 +60,12 @@ lint options:      --code                   run only the workspace code lint
                    --topo NAME              run only the topology analysis of
                                             NAME (repeatable); without flags,
                                             lint runs the code lint plus every
-                                            committed scenario"
+                                            committed scenario
+                   --json                   emit one machine-readable JSON
+                                            report line instead of text
+                   --spec-table PATH        check the Fig. 6 conformance pass
+                                            against PATH instead of the
+                                            committed crates/simlint/fig6.spec"
     );
     exit(2)
 }
@@ -79,6 +84,8 @@ struct Args {
     out: Option<String>,
     lint_code: bool,
     lint_topos: Vec<String>,
+    lint_json: bool,
+    lint_spec_table: Option<String>,
     scenario: Option<String>,
     end_ms: f64,
 }
@@ -102,6 +109,8 @@ fn parse() -> Args {
         out: None,
         lint_code: false,
         lint_topos: Vec::new(),
+        lint_json: false,
+        lint_spec_table: None,
         scenario: None,
         end_ms: 6.0,
     };
@@ -185,6 +194,14 @@ fn parse() -> Args {
             "--topo" => {
                 a.lint_topos
                     .push(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--json" => {
+                a.lint_json = true;
+                i += 1;
+            }
+            "--spec-table" => {
+                a.lint_spec_table = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             s if !s.starts_with('-') && a.scenario.is_none() => {
@@ -502,28 +519,46 @@ fn cmd_lint(a: &Args) {
     };
     let mut failed = false;
 
+    let mut code_diags = Vec::new();
+    let mut code_files = 0usize;
+    let mut hot = Vec::new();
     if run_code {
         let cwd = std::env::current_dir().expect("current dir");
         let Some(root) = simlint::find_workspace_root(&cwd) else {
             eprintln!("lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
             exit(2);
         };
-        match simlint::lint_workspace(&root) {
+        let table = a.lint_spec_table.as_ref().map(std::path::Path::new);
+        match simlint::lint_workspace_with_table(&root, table) {
             Ok((diags, files)) => {
-                for d in &diags {
-                    println!("{d}");
+                if !a.lint_json {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    println!("code lint: {} finding(s) in {files} files", diags.len());
                 }
-                println!("code lint: {} finding(s) in {files} files", diags.len());
                 failed |= !diags.is_empty();
+                code_diags = diags;
+                code_files = files;
             }
             Err(e) => {
                 eprintln!("lint: cannot scan workspace: {e}");
                 exit(2);
             }
         }
+        if a.lint_json {
+            match simlint::workspace_hot_functions(&root) {
+                Ok(h) => hot = h,
+                Err(e) => {
+                    eprintln!("lint: cannot scan workspace: {e}");
+                    exit(2);
+                }
+            }
+        }
     }
 
     let mut clean = Vec::new();
+    let mut reports = Vec::new();
     for name in &topos {
         let Some(spec) = lintspec::build(name) else {
             eprintln!(
@@ -534,20 +569,28 @@ fn cmd_lint(a: &Args) {
             exit(2);
         };
         let rep = simlint::analyze(&spec);
-        if rep.diags.is_empty() {
-            clean.push(name.as_str());
-        } else {
-            println!(
-                "{name}: {} channel(s), {} dependency edge(s)",
-                rep.channels, rep.dependencies
-            );
-            for d in &rep.diags {
-                println!("  {d}");
+        if !a.lint_json {
+            if rep.diags.is_empty() {
+                clean.push(name.as_str());
+            } else {
+                println!(
+                    "{name}: {} channel(s), {} dependency edge(s)",
+                    rep.channels, rep.dependencies
+                );
+                for d in &rep.diags {
+                    println!("  {d}");
+                }
             }
         }
         failed |= rep.has_errors();
+        reports.push(rep);
     }
-    if !topos.is_empty() {
+    if a.lint_json {
+        print!(
+            "{}",
+            simlint::json_report(&code_diags, code_files, &hot, &reports)
+        );
+    } else if !topos.is_empty() {
         println!(
             "topology lint: {}/{} scenario(s) clean",
             clean.len(),

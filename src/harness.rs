@@ -83,6 +83,7 @@ impl Sweep {
     /// Queue a run. `job` must be a pure function of its captured
     /// configuration (it runs on a worker thread; build the simulator
     /// *inside* the closure so no state leaks across runs).
+    // simlint: allow(hot-path-alloc) -- sweep setup, one box per queued run; hot only by a name collision with Sweep::add
     pub fn add(
         &mut self,
         id: impl Into<String>,

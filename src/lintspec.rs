@@ -6,9 +6,10 @@
 //! with, so `tcdsim lint --topo <name>` (and the CI gate, which runs every
 //! committed name) analyzes exactly what the simulator would execute.
 //!
-//! Two extra *seeded-bad* specs are deliberately broken — a cyclic
-//! up-down-violating triangle and a headroom-starved long-haul dumbbell.
-//! They are excluded from the committed set; naming them explicitly makes
+//! The extra *seeded-bad* specs are deliberately broken — cyclic
+//! up-down-violating rings, a headroom-starved long-haul dumbbell, and a
+//! baseline-clean ring whose fault plan swaps routes into a cycle. They
+//! are excluded from the committed set; naming them explicitly makes
 //! `tcdsim lint` exit non-zero, which the test suite relies on.
 
 use lossless_flowctl::pfc::PfcConfig;
@@ -38,10 +39,11 @@ pub const COMMITTED: [&str; 10] = [
 ];
 
 /// Deliberately broken specs (never part of the CI-clean set).
-pub const SEEDED_BAD: [&str; 3] = [
+pub const SEEDED_BAD: [&str; 4] = [
     "seeded-cyclic-triangle",
     "seeded-cyclic-square",
     "seeded-headroom-starved",
+    "seeded-fault-route-swap",
 ];
 
 /// The paper's default link parameters (40 Gbps, 4 µs).
@@ -111,6 +113,32 @@ fn cyclic_square() -> TopoSpec {
         })
         .collect();
     spec
+}
+
+/// The baseline-acyclic ring whose *fault plan* swaps routes into a
+/// cycle: same construction as `scenarios::fault::deadlock_ring(3, ..)`
+/// (each host rerouted two hops clockwise at t=0 via `route_sets[0]`).
+/// The baseline ECMP routes are clean — only the fault-plan composition
+/// pass catches this one, cross-checked at runtime by the PFC-deadlock
+/// watchdog.
+fn fault_route_swap() -> TopoSpec {
+    let mut b = Topology::builder();
+    let (r, d) = paper_link();
+    let s: Vec<_> = (0..3).map(|i| b.switch(format!("s{i}"))).collect();
+    let h: Vec<_> = (0..3).map(|i| b.host(format!("h{i}"))).collect();
+    for i in 0..3 {
+        b.link(h[i], s[i], r, d);
+        b.link(s[i], s[(i + 1) % 3], r, d);
+    }
+    let topo = b.build();
+    let mut cfg = default_config(Network::Cee, true, end());
+    cfg.fault_plan.route_sets.push(
+        (0..3)
+            .map(|i| vec![h[i], s[i], s[(i + 1) % 3], s[(i + 2) % 3], h[(i + 2) % 3]])
+            .collect(),
+    );
+    cfg.fault_plan.route_change(SimTime::ZERO, Some(0));
+    TopoSpec::new("seeded-fault-route-swap", topo, cfg, RouteSelect::Ecmp)
 }
 
 /// A PFC dumbbell whose rate·delay product needs far more PAUSE headroom
@@ -207,6 +235,7 @@ pub fn build(name: &str) -> Option<TopoSpec> {
         "seeded-cyclic-triangle" => cyclic_triangle(),
         "seeded-cyclic-square" => cyclic_square(),
         "seeded-headroom-starved" => headroom_starved(),
+        "seeded-fault-route-swap" => fault_route_swap(),
         _ => return None,
     };
     Some(spec)

@@ -92,6 +92,47 @@ fn statically_flagged_cycles_deadlock_at_runtime() {
 }
 
 #[test]
+fn fault_plan_static_cycle_matches_the_runtime_watchdog_hop_for_hop() {
+    // Static verdict: the seeded-fault-route-swap spec is clean under its
+    // baseline ECMP routes; only the fault-plan composition pass names the
+    // post-swap channel cycle, with structured (node, port) hops.
+    let spec = lintspec::build("seeded-fault-route-swap").expect("seeded spec builds");
+    let report = analyze(&spec);
+    assert!(
+        report.diags.iter().all(|d| d.check != "deadlock-cycle"),
+        "baseline routes must be acyclic: {:?}",
+        report.diags
+    );
+    let diag = report
+        .diags
+        .iter()
+        .find(|d| d.check == "fault-route-cycle")
+        .expect("the fault plan pass must flag the swap");
+
+    // Runtime verdict: `deadlock_ring(3)` executes that exact RouteChange
+    // (same topology construction, same route set) and wedges.
+    let run = run_ring(3, None);
+    let audit = run.sim.audit();
+    let cycle = audit.deadlock_cycle().expect("the watchdog must trip");
+
+    // Hop for hop: the statically predicted cycle is the runtime one.
+    let got: BTreeSet<(String, u16)> = cycle
+        .iter()
+        .map(|&(node, port)| (run.sim.topology().name(node).to_string(), port))
+        .collect();
+    let want: BTreeSet<(String, u16)> = diag.cycle.iter().cloned().collect();
+    assert_eq!(
+        got, want,
+        "static fault-plan cycle != runtime watchdog cycle"
+    );
+    assert_eq!(
+        got.len(),
+        3,
+        "the ring wedges on all three inter-switch links"
+    );
+}
+
+#[test]
 fn reverting_routes_before_the_wedge_recovers() {
     // Same triangle, but the cyclic routes swap back to shortest paths
     // early: congestion forms, TCD reacts, and the fabric drains instead

@@ -74,6 +74,39 @@ fn seeded_headroom_starved_dumbbell_fails() {
     );
 }
 
+/// The seeded fault-route-swap ring is the inverse of the triangle: its
+/// *baseline* ECMP routes are clean, and only composing the fault plan's
+/// `route_sets[0]` onto the tables exposes the cycle. The analyzer must
+/// keep the baseline clean, flag exactly one fault-route-cycle error with
+/// structured hops, and name the route set that causes it.
+#[test]
+fn seeded_fault_route_swap_is_caught_by_the_fault_plan_pass() {
+    let spec = lintspec::build("seeded-fault-route-swap").expect("seeded spec builds");
+    let report = analyze(&spec);
+    assert!(
+        report.diags.iter().all(|d| d.check != "deadlock-cycle"),
+        "the baseline routes must be acyclic: {:?}",
+        report.diags
+    );
+    let cycles: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.check == "fault-route-cycle")
+        .collect();
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {:?}", report.diags);
+    let diag = cycles[0];
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(
+        diag.message.contains("route set 0"),
+        "must name the offending set: {}",
+        diag.message
+    );
+    let nodes: Vec<&str> = diag.cycle.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = nodes.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, ["s0", "s1", "s2"], "hops: {:?}", diag.cycle);
+}
+
 /// Cross-check against the runtime: `paper_phenomena.rs` asserts that the
 /// CEE figure-2 pause storm dissolves with no pause deadlock. The static
 /// analyzer must agree that the very topology that run executes on is free
