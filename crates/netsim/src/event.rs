@@ -662,6 +662,18 @@ impl EventQueue {
         self.clamped_past
     }
 
+    /// Occupancy snapshot for the self-profiler: `(pending, staged,
+    /// overflow)` — total pending events, events staged in the current
+    /// same-timestamp group, and events parked on the timing wheel's
+    /// overflow list (always 0 on the heap core). Pure reads, so sampling
+    /// it never perturbs the queue.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        match &self.core {
+            Core::Wheel(w) => (self.len(), w.cur.len(), w.overflow.len()),
+            Core::Heap(_) => (self.len(), self.batch.len(), 0),
+        }
+    }
+
     /// Drain the log of attempts to schedule into the past.
     #[cfg(feature = "audit")]
     pub(crate) fn take_past_schedules(&mut self) -> Vec<(SimTime, SimTime)> {

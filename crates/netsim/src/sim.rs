@@ -73,6 +73,31 @@ enum Node {
     Ib(IbSwitch),
 }
 
+/// Attribute a dispatched event to the class of network element whose
+/// handler does the work; engine-level events (flow starts, trace ticks,
+/// fault and route updates) go to [`NodeClass::Engine`]. Read-only — used
+/// solely by the self-profiler's span attribution.
+///
+/// [`NodeClass::Engine`]: lossless_obs::prof::NodeClass::Engine
+fn node_class(nodes: &[Node], ev: &Event) -> lossless_obs::prof::NodeClass {
+    use lossless_obs::prof::NodeClass;
+    let node = match ev {
+        Event::PacketArrival { node, .. }
+        | Event::PortTx { node, .. }
+        | Event::FcclTick { node, .. }
+        | Event::DetectorTimer { node, .. }
+        | Event::CcTimer { node, .. }
+        | Event::HostDrain { node } => *node,
+        _ => return NodeClass::Engine,
+    };
+    match nodes.get(node.index()) {
+        Some(Node::Host(_)) => NodeClass::Host,
+        Some(Node::Eth(_)) => NodeClass::EthSwitch,
+        Some(Node::Ib(_)) => NodeClass::IbSwitch,
+        None => NodeClass::Engine,
+    }
+}
+
 /// The simulator: topology + nodes + flows + event loop.
 pub struct Simulator {
     topo: Topology,
@@ -102,6 +127,11 @@ pub struct Simulator {
     pub trace: Trace,
     /// The observability layer: metrics registry + flight recorder.
     pub obs: lossless_obs::Obs,
+    /// The wall-clock self-profiler. Read-only with respect to simulation
+    /// state: it samples dispatch spans and queue/pool occupancy but
+    /// never schedules events or feeds a wall-clock value back, so runs
+    /// are bit-identical with it on or off.
+    profiler: lossless_obs::prof::Prof,
 }
 
 impl Simulator {
@@ -263,6 +293,7 @@ impl Simulator {
             audit_obs_seen: 0,
             trace,
             obs,
+            profiler: lossless_obs::prof::Prof::from_env(),
         }
     }
 
@@ -284,6 +315,21 @@ impl Simulator {
     /// which carry a degraded-rate override.
     pub fn links(&self) -> &crate::fault::LinkState {
         &self.links
+    }
+
+    /// Arm the wall-clock self-profiler for subsequent `run*` calls,
+    /// discarding any previously collected profile. Profiling never
+    /// perturbs the run: fingerprints and traces are bit-identical with
+    /// it on or off.
+    pub fn enable_profiler(&mut self, cfg: lossless_obs::prof::ProfConfig) {
+        self.profiler.enable(cfg);
+    }
+
+    /// Snapshot the wall-clock profile collected so far; `None` unless
+    /// the profiler was armed via [`Simulator::enable_profiler`] or
+    /// `TCD_PROF=1`.
+    pub fn profile(&self) -> Option<lossless_obs::prof::ProfSummary> {
+        self.profiler.summary(&Event::KIND_NAMES)
     }
 
     /// Switch the auditor (when compiled in) from panicking on the first
@@ -418,11 +464,43 @@ impl Simulator {
             let Some((now, ev)) = self.queue.pop_batched(end) else {
                 break;
             };
-            self.dispatch(now, ev);
+            // Self-profiler span: `arm_span` is a pure dispatch-counter
+            // check (no clock read), so which branch runs is a
+            // deterministic function of the event sequence — and both
+            // branches perform the identical `dispatch` call. The clock
+            // reads in `span_open`/`span_close` surround dispatch without
+            // feeding anything back into simulation state.
+            // simlint: allow(prof-leak) -- sanctioned drive() wiring: arm_span is a deterministic counter check and both branches dispatch identically
+            if self.profiler.arm_span() {
+                let kind = ev.kind_index();
+                let class = node_class(&self.nodes, &ev);
+                self.profiler.span_open();
+                self.dispatch(now, ev);
+                self.profiler.span_close(kind, class);
+            } else {
+                self.dispatch(now, ev);
+            }
             // The flight recorder's checkpoint cadence is driven by the
             // dispatch count (always compiled), so recorder contents are
             // identical with or without the auditor.
             self.obs.maybe_checkpoint(now, self.trace.events);
+            // Timeline tick: cadence is a pure function of the dispatch
+            // count; the queue/pool occupancy reads flow *into* the
+            // profiler only.
+            // simlint: allow(prof-leak) -- sanctioned drive() wiring: tick_due is a deterministic counter check, occupancy/pool reads only flow into the profiler
+            if self.profiler.tick_due(self.trace.events) {
+                let (pending, staged, overflow) = self.queue.occupancy();
+                let (hit, miss) = self.pool.stats();
+                self.profiler.record_tick(
+                    now,
+                    self.trace.events,
+                    pending,
+                    staged,
+                    overflow,
+                    hit,
+                    miss,
+                );
+            }
             // Checkpoints run between dispatches, never as scheduled
             // events, so event counts and fingerprints are identical with
             // the auditor on or off.

@@ -17,6 +17,13 @@
 //! in this crate feeds back into simulation behaviour: enabling or
 //! disabling observability never changes event order, golden traces or
 //! run fingerprints.
+//!
+//! A fourth pillar, [`prof`], deliberately breaks the simulated-time rule:
+//! it is the engine's *wall-clock* self-profiler, the one module allowed
+//! to read [`std::time::Instant`]. It keeps the non-perturbation
+//! guarantee by a different route — it only ever reads the clock and
+//! never feeds a wall-clock value back into simulation state (statically
+//! enforced by simlint's `prof-leak` rule).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +31,7 @@
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod prof;
 pub mod recorder;
 
 use std::collections::BTreeMap;

@@ -150,6 +150,25 @@ impl Histogram {
             .map(|(i, &c)| (bucket_lower_bound(i), c))
     }
 
+    /// Lower bound of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`) of recorded values, clamped to the observed
+    /// `[min, max]` range. Quantiles inherit the buckets' bounded
+    /// relative error (`< 1/SUB`). `None` when the histogram is empty.
+    pub fn quantile_lower_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_lower_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Element-wise merge of another histogram into this one.
     pub fn merge_from(&mut self, other: &Histogram) {
         if other.counts.len() > self.counts.len() {
@@ -286,6 +305,9 @@ impl Registry {
 
     /// Self-describing JSON dump (`tcd-metrics-v1`): schema marker,
     /// fingerprint, and the three instrument families in canonical order.
+    /// Histograms carry `p50`/`p90`/`p99` summaries derived from the
+    /// log-linear buckets; the fingerprint stays a function of counts,
+    /// sums and raw buckets only, so adding quantiles never shifts it.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"schema\": \"tcd-metrics-v1\",\n");
@@ -317,12 +339,16 @@ impl Registry {
             first = false;
             let _ = write!(
                 out,
-                "\n    {{{}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                "\n    {{{}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
                 key_json(k),
                 h.count,
                 h.sum,
                 h.min().unwrap_or(0),
                 h.max().unwrap_or(0),
+                h.quantile_lower_bound(0.50).unwrap_or(0),
+                h.quantile_lower_bound(0.90).unwrap_or(0),
+                h.quantile_lower_bound(0.99).unwrap_or(0),
             );
             let mut bfirst = true;
             for (lo, c) in h.buckets() {
@@ -445,6 +471,26 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_lower_bound(0.5), None);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990)] {
+            let got = h.quantile_lower_bound(q).unwrap();
+            assert!(got <= exact, "q={q}: {got} > {exact}");
+            let err = (exact - got) as f64 / exact as f64;
+            assert!(err < 2.0 / SUB as f64, "q={q}: {got} vs {exact}");
+        }
+        // A single value answers every quantile exactly (clamped to min/max).
+        let mut one = Histogram::new();
+        one.observe(100);
+        assert_eq!(one.quantile_lower_bound(0.01), Some(100));
+        assert_eq!(one.quantile_lower_bound(1.0), Some(100));
+    }
+
+    #[test]
     fn histogram_merge_matches_combined_observes() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -518,6 +564,11 @@ mod tests {
         assert_eq!(counters[0].get("value").unwrap().as_f64(), Some(17.0));
         let h = &doc.get("histograms").unwrap().as_arr().unwrap()[0];
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+        // One observation answers every quantile with the same (clamped)
+        // value, and the summaries ride alongside the raw buckets.
+        let p50 = h.get("p50").unwrap().as_f64().unwrap();
+        assert_eq!(h.get("p99").unwrap().as_f64(), Some(p50));
+        assert!(h.get("buckets").unwrap().as_arr().is_some());
     }
 
     #[test]

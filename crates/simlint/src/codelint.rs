@@ -19,6 +19,11 @@
 //!   `SimTime`/`SimDuration`, widen to `u128`, or use checked/saturating ops.
 //! - `forbid-unsafe`: every non-vendored crate root carries
 //!   `#![forbid(unsafe_code)]`.
+//! - `prof-leak`: no wall-clock profiler value (`prof::` paths, the
+//!   engine's `.profiler` field) consumed by simulation-state code —
+//!   declaring, storing and statement-position calls are fine, but a
+//!   profiler value feeding an expression (`let x = self.profiler...`,
+//!   `if self.profiler...`) needs a sanctioned-wiring justification.
 //! - `bad-allow`: malformed or unknown `// simlint: allow(...)` directives.
 //! - `stale-allow`: a well-formed directive that no longer suppresses any
 //!   finding — dead annotations must be pruned, not accumulated.
@@ -63,19 +68,21 @@ pub enum Rule {
     HotPathPanic,
     HotPathAlloc,
     TimeArith,
+    ProfLeak,
     ForbidUnsafe,
     BadAllow,
     StaleAllow,
     SpecMismatch,
 }
 
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::HashCollections,
     Rule::WallClock,
     Rule::ThreadSpawn,
     Rule::HotPathPanic,
     Rule::HotPathAlloc,
     Rule::TimeArith,
+    Rule::ProfLeak,
     Rule::ForbidUnsafe,
     Rule::BadAllow,
     Rule::StaleAllow,
@@ -91,6 +98,7 @@ impl Rule {
             Rule::HotPathPanic => "hot-path-panic",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::TimeArith => "time-arith",
+            Rule::ProfLeak => "prof-leak",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadAllow => "bad-allow",
             Rule::StaleAllow => "stale-allow",
@@ -171,7 +179,13 @@ impl FileClass {
         }
         fc.state_code =
             STATE_PREFIXES.iter().any(|p| relpath.starts_with(p)) || relpath.starts_with("tests/");
-        fc.wall_clock_ok = relpath == "src/harness.rs" || relpath.starts_with("crates/bench/");
+        // `crates/obs/src/prof.rs` is the engine's sanctioned wall-clock
+        // window: the self-profiler only *reads* `Instant`, and the
+        // `prof-leak` rule polices that none of its values reach
+        // simulation state.
+        fc.wall_clock_ok = relpath == "src/harness.rs"
+            || relpath == "crates/obs/src/prof.rs"
+            || relpath.starts_with("crates/bench/");
         fc.threads_ok = relpath == "src/harness.rs";
         fc.crate_root = relpath == "src/lib.rs"
             || (relpath.starts_with("crates/")
@@ -326,6 +340,39 @@ fn lint_one(relpath: &str, src: &str, hot_ranges: &[(u32, u32)]) -> Vec<Diagnost
                  parallelism through the harness work queue"
                     .to_string()
             );
+        }
+        // --- prof-leak -----------------------------------------------
+        // Simulation-state code may *hold* the wall-clock profiler and
+        // call it in statement position, but a profiler value feeding an
+        // expression is a wall-clock leak into simulation state.
+        if fc.state_code
+            && !fc.test_code
+            && !fc.wall_clock_ok
+            && !relpath.starts_with("crates/obs/")
+            && t.kind == TokKind::Ident
+            && (t.text == "prof" || t.text == "profiler")
+        {
+            let field_access = i > 0 && toks[i - 1].is_punct('.');
+            let path_seg = matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'));
+            // `prof::Uppercase` is a type path (`prof::ProfConfig`,
+            // `prof::NodeClass`): naming a profiler *type* carries no
+            // wall-clock data, only `.profiler`/`.prof` field reads and
+            // lowercase value paths do.
+            let type_path = path_seg
+                && matches!(toks.get(i + 3), Some(n) if n.kind == TokKind::Ident
+                    && n.text.starts_with(|c: char| c.is_ascii_uppercase()));
+            if (field_access || (path_seg && !type_path)) && prof_value_consumed(toks, i) {
+                push!(
+                    Rule::ProfLeak,
+                    t.line,
+                    "a wall-clock profiler value feeds simulation-state code; the \
+                     self-profiler must stay read-only — declare, store or call it in \
+                     statement position, and justify sanctioned engine wiring with \
+                     `// simlint: allow(prof-leak) -- <why no wall-clock value crosses>`"
+                        .to_string()
+                );
+            }
         }
         if hot(t.line) {
             // --- hot-path-panic ----------------------------------------
@@ -511,6 +558,51 @@ fn is_index_base(prev: &Token) -> bool {
         TokKind::Punct(')') | TokKind::Punct(']') => true,
         _ => false,
     }
+}
+
+/// Whether the `prof`/`profiler` reference at token `i` is *consumed* by
+/// surrounding code, as opposed to declared, stored or called in statement
+/// position. Walks left over `a.b` / `a::b` chains to the expression head
+/// and inspects the token before it: statement boundaries (`;`, `{`, `}`),
+/// type/field positions (a single `:`), generics (`<`, `>`) and item
+/// declarations (`use`/`pub`/`mod`) don't consume; anything else — `=`,
+/// `(`, `,`, `if`, `while`, `return`, operators — feeds the value onward.
+fn prof_value_consumed(toks: &[Token], i: usize) -> bool {
+    let mut h = i;
+    loop {
+        if h >= 2 && toks[h - 1].is_punct('.') && toks[h - 2].kind == TokKind::Ident {
+            h -= 2;
+        } else if h >= 3
+            && toks[h - 1].is_punct(':')
+            && toks[h - 2].is_punct(':')
+            && toks[h - 3].kind == TokKind::Ident
+        {
+            h -= 3;
+        } else {
+            break;
+        }
+    }
+    if h == 0 {
+        return false; // head starts the file: an item declaration
+    }
+    let prev = &toks[h - 1];
+    if prev.is_punct(';')
+        || prev.is_punct('{')
+        || prev.is_punct('}')
+        || prev.is_punct('<')
+        || prev.is_punct('>')
+    {
+        return false;
+    }
+    if prev.is_punct(':') {
+        // a lone `:` is a type annotation or struct-field position; a
+        // second `:` before it would have been folded into the chain walk
+        return h >= 2 && toks[h - 2].is_punct(':');
+    }
+    if prev.kind == TokKind::Ident {
+        return !matches!(prev.text.as_str(), "use" | "pub" | "mod");
+    }
+    true
 }
 
 fn has_forbid_unsafe(toks: &[Token]) -> bool {

@@ -1,0 +1,43 @@
+//! Fixture: wall-clock profiler values consumed by simulation-state code.
+//! Declaring the profiler, naming its types, and statement-position calls
+//! are fine; a profiler value feeding an expression is a leak.
+use lossless_obs::prof::Prof;
+
+pub struct Engine {
+    pub profiler: Prof,
+    prof: lossless_obs::prof::Prof,
+}
+
+impl Engine {
+    pub fn fresh(cfg: lossless_obs::prof::ProfConfig) -> Self {
+        let mut e = Self {
+            profiler: Prof::from_env(),
+            prof: Prof::disabled(),
+        };
+        e.prof.enable(cfg);
+        e
+    }
+
+    pub fn step_ok(&mut self) {
+        // Statement-position calls never feed a value onward.
+        self.profiler.span_open();
+        self.prof
+            .span_close(0, lossless_obs::prof::NodeClass::Engine);
+    }
+
+    pub fn leaks(&mut self) -> u64 {
+        if self.profiler.arm_span() {
+            // leak: branch condition consumes a profiler value
+            self.profiler.span_open();
+        }
+        let n = self.prof.events; // leak: let binding consumes a field
+        bump(self.profiler.events); // leak: argument position
+        // simlint: allow(prof-leak) -- fixture: sanctioned wiring example
+        if self.profiler.arm_span() {}
+        n
+    }
+}
+
+fn bump(n: u64) -> u64 {
+    n + 1
+}

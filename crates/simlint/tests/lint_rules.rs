@@ -42,9 +42,32 @@ fn wall_clock_fires_outside_the_harness() {
         !rules.is_empty() && rules.iter().all(|r| *r == Rule::WallClock),
         "{rules:?}"
     );
-    // The harness and the bench crate may read wall clocks.
+    // The harness, the bench crate and the self-profiler may read wall
+    // clocks.
     assert!(rules_for("src/harness.rs", src).is_empty());
     assert!(rules_for("crates/bench/src/bad.rs", src).is_empty());
+    assert!(rules_for("crates/obs/src/prof.rs", src).is_empty());
+}
+
+#[test]
+fn prof_leak_flags_value_consumption_only() {
+    let src = include_str!("fixtures/prof_leak.rs");
+    let diags = lint_file("crates/netsim/src/bad.rs", src);
+    // The `if` condition, the `let` binding and the argument position
+    // leak; declarations, type paths, statement-position calls and the
+    // allow-covered `if` stay silent.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::ProfLeak), "{diags:?}");
+    // The profiler's own crate and the wall-clock-sanctioned harness may
+    // consume profiler values freely (only the now-unused allow directive
+    // surfaces there, as stale-allow).
+    for exempt in ["crates/obs/src/prof2.rs", "src/harness.rs"] {
+        let rules = rules_for(exempt, src);
+        assert!(
+            rules.iter().all(|r| *r != Rule::ProfLeak),
+            "{exempt}: {rules:?}"
+        );
+    }
 }
 
 #[test]

@@ -32,6 +32,8 @@ commands:
   sweep      the victim grid (network x detector x seed) on a worker pool
   trace      run a named scenario and emit a Chrome/Perfetto trace.json
   metrics    run a named scenario and emit the metrics registry as JSON
+  perf       self-profile the fat-tree k=6 bench (hot-event-kind report +
+             wall-clock Perfetto track), or render/gate the perf history
   lint       static analysis: workspace code lint + scenario topology checks
 
 common options:
@@ -56,6 +58,20 @@ sweep options:     --seeds N                seeds per cell (default 3)
                                             or the machine's parallelism; results
                                             are identical at any value)
                    --out DIR                report directory (default results)
+                   --history PATH           also append the fat-tree k=6 bench
+                                            numbers to the perf-trajectory store
+                                            (append-only JSONL)
+perf options:      --top N                  hot-kind report depth (default 8)
+                   --json                   emit the full profile as JSON on
+                                            stdout instead of the text report
+                   --out PATH               wall-clock Perfetto trace output
+                                            (default results/perf_fat_tree_k6.json)
+                   --history PATH           render the perf-trajectory store as a
+                                            trend report instead of benching
+                   --gate                   with --history: fail (exit 1) unless
+                                            each scenario's newest entry is >= 90%
+                                            of the trailing median of comparable
+                                            (same-fingerprint) prior entries
 lint options:      --code                   run only the workspace code lint
                    --topo NAME              run only the topology analysis of
                                             NAME (repeatable); without flags,
@@ -88,6 +104,9 @@ struct Args {
     lint_spec_table: Option<String>,
     scenario: Option<String>,
     end_ms: f64,
+    history: Option<String>,
+    gate: bool,
+    top: usize,
 }
 
 fn parse() -> Args {
@@ -113,6 +132,9 @@ fn parse() -> Args {
         lint_spec_table: None,
         scenario: None,
         end_ms: 6.0,
+        history: None,
+        gate: false,
+        top: 8,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -202,6 +224,22 @@ fn parse() -> Args {
             }
             "--spec-table" => {
                 a.lint_spec_table = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--history" => {
+                a.history = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--gate" => {
+                a.gate = true;
+                i += 1;
+            }
+            "--top" => {
+                a.top = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             s if !s.starts_with('-') && a.scenario.is_none() => {
@@ -391,18 +429,19 @@ fn cmd_sweep(a: &Args) {
     // twin check.
     println!("timing fat-tree k=6 workload: heap vs wheel...");
     use tcd_repro::netsim::QueueKind;
-    let (ev_heap, eps_heap, fp_heap) =
-        harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Heap));
-    let (ev_wheel, eps_wheel, fp_wheel) =
-        harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Wheel));
+    let tp_heap = harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Heap));
+    let tp_wheel = harness::timed_throughput(|| scenarios::fat_tree_k6_bench(QueueKind::Wheel));
     assert_eq!(
-        (fp_heap, ev_heap),
-        (fp_wheel, ev_wheel),
+        (tp_heap.fingerprint, tp_heap.events),
+        (tp_wheel.fingerprint, tp_wheel.events),
         "heap and wheel cores disagree on the fat-tree k=6 workload"
     );
+    let (eps_heap, eps_wheel) = (tp_heap.best_eps(), tp_wheel.best_eps());
     let heap_note = format!(
-        "{:.3}M events/s ({ev_heap} events, fingerprint {fp_heap:016x})",
-        eps_heap / 1e6
+        "{:.3}M events/s ({} events, fingerprint {:016x})",
+        eps_heap / 1e6,
+        tp_heap.events,
+        tp_heap.fingerprint
     );
     let wheel_note = format!(
         "{:.3}M events/s ({:.2}x heap, same events + fingerprint)",
@@ -415,11 +454,26 @@ fn cmd_sweep(a: &Args) {
     let bench = format!("{out_dir}/BENCH_sweep.json");
     rep.write_json(&results).expect("write sweep report");
     // The bare-number notes are machine-readable: scripts/ci.sh gates on
-    // fat_tree_k6_wheel_eps against the committed BENCH_sweep.json.
+    // fat_tree_k6_wheel_eps against the committed BENCH_sweep.json. The
+    // spread notes carry the full per-repetition min/median/max so a
+    // noisy box is visible in the record instead of masquerading as a
+    // regression.
     let heap_eps = format!("{eps_heap:.0}");
     let wheel_eps = format!("{eps_wheel:.0}");
+    let spread_of = |tp: &harness::Throughput| {
+        format!(
+            "best {:.3}M / median {:.3}M / worst {:.3}M events/s over {} reps ({:.0}% spread)",
+            tp.best_eps() / 1e6,
+            tp.median_eps() / 1e6,
+            tp.worst_eps() / 1e6,
+            tp.rep_wall_s.len(),
+            100.0 * tp.spread(),
+        )
+    };
+    let heap_spread = spread_of(&tp_heap);
+    let wheel_spread = spread_of(&tp_wheel);
     let speedup = format!("{:.2}", eps_wheel / eps_heap.max(1.0));
-    let k6_fp = format!("{fp_wheel:016x}");
+    let k6_fp = format!("{:016x}", tp_wheel.fingerprint);
     rep.write_bench_json(
         &bench,
         "tcdsim sweep (victim grid)",
@@ -428,11 +482,28 @@ fn cmd_sweep(a: &Args) {
             ("fat_tree_k6_wheel", wheel_note.as_str()),
             ("fat_tree_k6_heap_eps", heap_eps.as_str()),
             ("fat_tree_k6_wheel_eps", wheel_eps.as_str()),
+            ("fat_tree_k6_heap_spread", heap_spread.as_str()),
+            ("fat_tree_k6_wheel_spread", wheel_spread.as_str()),
             ("fat_tree_k6_speedup", speedup.as_str()),
             ("fat_tree_k6_fingerprint", k6_fp.as_str()),
         ],
     )
     .expect("write bench record");
+    // Optionally extend the append-only perf trajectory. The wheel entry
+    // carries a compact profile digest from one extra profiled run, so
+    // the store records *where* the cycles went, not just how many.
+    if let Some(hist) = &a.history {
+        let mut prof_sim = scenarios::fat_tree_k6_bench(QueueKind::Wheel);
+        prof_sim.enable_profiler(tcd_repro::obs::prof::ProfConfig::default());
+        prof_sim.run();
+        let digest = prof_sim.profile().map(|p| p.compact_json());
+        let entries = [
+            harness::HistoryEntry::from_throughput("fat_tree_k6_heap", &tp_heap, None),
+            harness::HistoryEntry::from_throughput("fat_tree_k6_wheel", &tp_wheel, digest),
+        ];
+        harness::append_history(hist, &entries).expect("append perf history");
+        println!("appended {} entries to {hist}", entries.len());
+    }
     println!(
         "fingerprint {:016x} | {} events in {:.2} s ({:.0} events/s) | wrote {results} and {bench}",
         rep.merged_fingerprint(),
@@ -505,6 +576,84 @@ fn cmd_export(a: &Args, metrics: bool) {
         a.end_ms,
         sim.trace.events
     );
+}
+
+/// `tcdsim perf`: self-profile the fat-tree k=6 bench and report where
+/// the wall-clock cycles go (plus a validated wall-clock Perfetto track),
+/// or — with `--history` — render the perf-trajectory store as a trend
+/// report and optionally gate on it.
+fn cmd_perf(a: &Args) {
+    use tcd_repro::netsim::QueueKind;
+    use tcd_repro::obs::prof::ProfConfig;
+
+    if let Some(hist) = &a.history {
+        let entries = harness::read_history(hist);
+        if entries.is_empty() {
+            eprintln!("perf: no history at {hist}");
+            exit(i32::from(a.gate));
+        }
+        print!("{}", harness::history_report(&entries));
+        if a.gate {
+            // The newest entry per scenario is the run under test; every
+            // earlier entry is baseline.
+            let mut fresh: Vec<harness::HistoryEntry> = Vec::new();
+            for e in &entries {
+                match fresh.iter_mut().find(|f| f.scenario == e.scenario) {
+                    Some(f) => *f = e.clone(),
+                    None => fresh.push(e.clone()),
+                }
+            }
+            let mut baseline = entries;
+            for f in &fresh {
+                if let Some(pos) = baseline.iter().rposition(|e| e.scenario == f.scenario) {
+                    baseline.remove(pos);
+                }
+            }
+            let failures = harness::history_gate(&baseline, &fresh, 0.9);
+            if failures.is_empty() {
+                println!("perf gate: ok ({} scenario(s))", fresh.len());
+            } else {
+                for f in &failures {
+                    eprintln!("perf gate: {f}");
+                }
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    eprintln!("profiling fat-tree k=6 workload (wheel queue)...");
+    let mut sim = scenarios::fat_tree_k6_bench(QueueKind::Wheel);
+    sim.enable_profiler(ProfConfig::default());
+    sim.run();
+    let profile = sim.profile().expect("profiler was armed");
+    if a.lint_json {
+        print!("{}", profile.to_json());
+    } else {
+        print!("{}", profile.hot_report(a.top));
+    }
+    // The wall-clock Perfetto track alongside the sim-time tracks,
+    // structurally validated before anything touches the filesystem.
+    let doc = obs_export::perfetto_trace_json(&sim);
+    match tcd_repro::obs::perfetto::validate_chrome_trace(&doc) {
+        Ok(n) => {
+            let path = a
+                .out
+                .clone()
+                .unwrap_or_else(|| "results/perf_fat_tree_k6.json".to_string());
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create output directory");
+                }
+            }
+            std::fs::write(&path, &doc).expect("write trace");
+            eprintln!("wrote {path} ({n} Chrome-trace events)");
+        }
+        Err(e) => {
+            eprintln!("perf: generated invalid Chrome trace ({e}); not writing");
+            exit(1);
+        }
+    }
 }
 
 fn cmd_lint(a: &Args) {
@@ -612,6 +761,7 @@ fn main() {
         "sweep" => cmd_sweep(&a),
         "trace" => cmd_export(&a, false),
         "metrics" => cmd_export(&a, true),
+        "perf" => cmd_perf(&a),
         "lint" => cmd_lint(&a),
         _ => usage(),
     }
