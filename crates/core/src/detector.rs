@@ -37,7 +37,11 @@ pub struct DequeueContext {
 }
 
 /// A congestion detector attached to one egress (port, priority/VL) pair.
-pub trait CongestionDetector {
+///
+/// `Send` so a parallel simulation executor can move a switch — detectors
+/// included — to a worker thread. Detectors are self-contained per-egress
+/// state machines, so this costs nothing in practice.
+pub trait CongestionDetector: Send {
     /// A data packet is dequeuing; decide how to mark it.
     fn on_dequeue(&mut self, ctx: &DequeueContext) -> Option<CodePoint>;
 

@@ -185,6 +185,13 @@ pub struct SimConfig {
     /// exact same dispatch order (see [`QueueKind`]), so this affects
     /// throughput only, never traces or fingerprints.
     pub queue: QueueKind,
+    /// Intra-run partition workers for the conservative-parallel
+    /// executor (see `crate::par`): `0` (default) defers to the
+    /// `TCD_PARTITIONS` environment variable (absent → serial), `1`
+    /// forces serial, `n > 1` requests `n` workers. Any value produces
+    /// bit-identical traces and fingerprints; this affects wall-clock
+    /// throughput only.
+    pub partitions: usize,
     /// Scheduled fault injection (link flaps, degradation, route
     /// changes). Empty by default — an empty plan schedules no events,
     /// so fault-free runs are bit-identical to builds without the
@@ -218,6 +225,7 @@ impl SimConfig {
             max_marks: None,
             max_port_samples: None,
             queue: QueueKind::Auto,
+            partitions: 0,
             fault_plan: crate::fault::FaultPlan::default(),
         }
     }
@@ -249,6 +257,7 @@ impl SimConfig {
             max_marks: None,
             max_port_samples: None,
             queue: QueueKind::Auto,
+            partitions: 0,
             fault_plan: crate::fault::FaultPlan::default(),
         }
     }

@@ -35,6 +35,9 @@ pub mod fault;
 pub mod host;
 pub mod ibswitch;
 pub mod packet;
+#[cfg(not(feature = "audit"))]
+mod par;
+pub mod partition;
 pub mod routing;
 pub mod sim;
 pub mod switch;
@@ -48,6 +51,7 @@ pub use config::{DetectorKind, FeedbackMode, SimConfig};
 pub use event::QueueKind;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkState};
 pub use packet::{FlowId, Packet, PacketKind};
+pub use partition::{partition, PartitionMap, PartitionStrategy};
 pub use sim::Simulator;
 pub use topology::{NodeId, NodeKind, Topology};
 

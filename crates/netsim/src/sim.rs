@@ -67,7 +67,7 @@ pub struct Ctx<'a> {
 // Hosts are by far the largest variant, but the node table is tiny (one
 // entry per network element), so boxing would only add indirection.
 #[allow(clippy::large_enum_variant)]
-enum Node {
+pub(crate) enum Node {
     Host(Host),
     Eth(EthSwitch),
     Ib(IbSwitch),
@@ -79,7 +79,7 @@ enum Node {
 /// solely by the self-profiler's span attribution.
 ///
 /// [`NodeClass::Engine`]: lossless_obs::prof::NodeClass::Engine
-fn node_class(nodes: &[Node], ev: &Event) -> lossless_obs::prof::NodeClass {
+pub(crate) fn node_class(nodes: &[Option<Node>], ev: &Event) -> lossless_obs::prof::NodeClass {
     use lossless_obs::prof::NodeClass;
     let node = match ev {
         Event::PacketArrival { node, .. }
@@ -90,7 +90,7 @@ fn node_class(nodes: &[Node], ev: &Event) -> lossless_obs::prof::NodeClass {
         | Event::HostDrain { node } => *node,
         _ => return NodeClass::Engine,
     };
-    match nodes.get(node.index()) {
+    match nodes.get(node.index()).and_then(|n| n.as_ref()) {
         Some(Node::Host(_)) => NodeClass::Host,
         Some(Node::Eth(_)) => NodeClass::EthSwitch,
         Some(Node::Ib(_)) => NodeClass::IbSwitch,
@@ -98,20 +98,91 @@ fn node_class(nodes: &[Node], ev: &Event) -> lossless_obs::prof::NodeClass {
     }
 }
 
+/// Dispatch a node-targeted event (everything except the engine-global
+/// trace / fault / route events) against a node table. Shared verbatim by
+/// the serial loop and the parallel workers in [`crate::par`], so both
+/// execute the exact same handler code and the bit-identity argument
+/// reduces to event *order* alone.
+// simlint: allow(hot-path-panic) -- node/flow ids index in bounds by construction; a `None`
+// node here would mean an event crossed partitions without going through an outbox, which
+// the queue's routing interception rules out
+pub(crate) fn dispatch_node_event(
+    nodes: &mut [Option<Node>],
+    pending_cc: &mut [Option<Box<dyn RateController>>],
+    ctx: &mut Ctx,
+    ev: Event,
+) {
+    const RESIDENT: &str = "event dispatched to a node owned by another partition";
+    match ev {
+        Event::PacketArrival { node, in_port, pkt } => {
+            match nodes[node.index()].as_mut().expect(RESIDENT) {
+                Node::Host(h) => h.on_packet(ctx, pkt),
+                Node::Eth(s) => s.on_packet(ctx, in_port, pkt),
+                Node::Ib(s) => s.on_packet(ctx, in_port, pkt),
+            }
+        }
+        Event::PortTx { node, port } => match nodes[node.index()].as_mut().expect(RESIDENT) {
+            Node::Host(h) => h.port_tx(ctx),
+            Node::Eth(s) => s.port_tx(ctx, port),
+            Node::Ib(s) => s.port_tx(ctx, port),
+        },
+        Event::FcclTick { node, port, vl } => match nodes[node.index()].as_mut().expect(RESIDENT) {
+            Node::Host(h) => h.on_fccl_tick(ctx, vl),
+            Node::Ib(s) => s.on_fccl_tick(ctx, port, vl),
+            Node::Eth(_) => unreachable!("FCCL tick in CEE mode"),
+        },
+        Event::DetectorTimer { node, port, prio } => {
+            match nodes[node.index()].as_mut().expect(RESIDENT) {
+                Node::Eth(s) => s.on_detector_timer(ctx, port, prio),
+                Node::Ib(s) => s.on_detector_timer(ctx, port, prio),
+                Node::Host(_) => unreachable!("detector timer at a host"),
+            }
+        }
+        Event::FlowStart { flow } => {
+            let spec = ctx.flows[flow.0 as usize];
+            let cc = pending_cc[flow.0 as usize]
+                .take()
+                .expect("flow started twice");
+            match nodes[spec.src.index()].as_mut().expect(RESIDENT) {
+                Node::Host(h) => h.start_flow(ctx, flow, spec.dst, spec.size, spec.prio, cc),
+                _ => unreachable!("flow source is not a host"),
+            }
+        }
+        Event::CcTimer { node, flow, timer } => {
+            match nodes[node.index()].as_mut().expect(RESIDENT) {
+                Node::Host(h) => h.on_cc_timer(ctx, flow, timer),
+                _ => unreachable!("CC timer at a switch"),
+            }
+        }
+        Event::HostDrain { node } => match nodes[node.index()].as_mut().expect(RESIDENT) {
+            Node::Host(h) => h.on_host_drain(ctx),
+            _ => unreachable!("HostDrain at a switch"),
+        },
+        _ => unreachable!("engine-global event routed to dispatch_node_event"),
+    }
+}
+
 /// The simulator: topology + nodes + flows + event loop.
 pub struct Simulator {
-    topo: Topology,
-    routing: Routing,
-    cfg: SimConfig,
-    queue: EventQueue,
-    nodes: Vec<Node>,
-    flows: Vec<FlowSpec>,
+    pub(crate) topo: Topology,
+    pub(crate) routing: Routing,
+    pub(crate) cfg: SimConfig,
+    pub(crate) queue: EventQueue,
+    /// The node table. Entries are `None` only *during* a parallel
+    /// window, while a worker owns the node; every public entry point
+    /// sees them all resident.
+    pub(crate) nodes: Vec<Option<Node>>,
+    pub(crate) flows: Vec<FlowSpec>,
     /// Controllers waiting for their flow's start event.
-    pending_cc: Vec<Option<Box<dyn RateController>>>,
+    pub(crate) pending_cc: Vec<Option<Box<dyn RateController>>>,
     /// Packet allocation pool shared by all nodes.
-    pool: PacketPool,
+    pub(crate) pool: PacketPool,
     /// Runtime link health table, mutated by fault events.
-    links: crate::fault::LinkState,
+    pub(crate) links: crate::fault::LinkState,
+    /// Events delivered across a partition barrier before their window
+    /// floor (see [`crate::par`]); always 0 when the lookahead argument
+    /// holds.
+    pub(crate) par_causality: u64,
     /// Baseline routing tables, captured lazily at the first
     /// `RouteUpdate` so route sets always compose from (and revert to)
     /// the pristine tables.
@@ -131,7 +202,7 @@ pub struct Simulator {
     /// state: it samples dispatch spans and queue/pool occupancy but
     /// never schedules events or feeds a wall-clock value back, so runs
     /// are bit-identical with it on or off.
-    profiler: lossless_obs::prof::Prof,
+    pub(crate) profiler: lossless_obs::prof::Prof,
 }
 
 impl Simulator {
@@ -156,12 +227,12 @@ impl Simulator {
             match topo.kind(id) {
                 NodeKind::Host => {
                     let line_rate = topo.link(id, 0).rate;
-                    nodes.push(Node::Host(Host::new(
+                    nodes.push(Some(Node::Host(Host::new(
                         id,
                         line_rate,
                         &cfg.flow_control,
                         cfg.num_prios,
-                    )));
+                    ))));
                 }
                 NodeKind::Switch => {
                     let n_ports = topo.ports(id).len();
@@ -172,16 +243,16 @@ impl Simulator {
                     };
                     match cfg.flow_control {
                         FlowControlMode::Pfc(_) | FlowControlMode::Lossy { .. } => {
-                            nodes.push(Node::Eth(EthSwitch::new(
+                            nodes.push(Some(Node::Eth(EthSwitch::new(
                                 id,
                                 n_ports,
                                 cfg.num_prios,
                                 &cfg.flow_control,
                                 mk,
-                            )));
+                            ))));
                         }
                         FlowControlMode::Cbfc(_) => {
-                            nodes.push(Node::Ib(IbSwitch::new(
+                            nodes.push(Some(Node::Ib(IbSwitch::new(
                                 id,
                                 n_ports,
                                 cfg.num_prios,
@@ -189,7 +260,7 @@ impl Simulator {
                                 cfg.vl_weights.clone(),
                                 cfg.feedback_prio,
                                 mk,
-                            )));
+                            ))));
                         }
                     }
                 }
@@ -286,6 +357,7 @@ impl Simulator {
             pending_cc: Vec::new(),
             pool: PacketPool::new(),
             links,
+            par_causality: 0,
             base_routing: None,
             #[cfg(feature = "audit")]
             audit: crate::audit::Audit::default(),
@@ -441,10 +513,28 @@ impl Simulator {
     /// A host's current CC rate for a flow (None once it finished sending).
     pub fn flow_rate(&self, flow: FlowId) -> Option<lossless_flowctl::Rate> {
         let spec = &self.flows[flow.0 as usize];
-        match &self.nodes[spec.src.index()] {
+        match self.node(spec.src) {
             Node::Host(h) => h.flow_rate(flow),
             _ => None,
         }
+    }
+
+    /// Events that crossed a partition barrier earlier than the window
+    /// floor would allow. Always 0 when the conservative lookahead
+    /// argument holds (and trivially 0 for serial runs); the parallel
+    /// determinism suite asserts on it.
+    pub fn par_causality_violations(&self) -> u64 {
+        self.par_causality
+    }
+
+    /// The node table entry for `id`, which must be resident (all nodes
+    /// are, except from inside a parallel window — nodes are only taken
+    /// out while a worker owns them, and every public entry point runs
+    /// between windows, when all are resident).
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node owned by a parallel worker")
     }
 
     /// The single inner event loop every `run*` entry point drives:
@@ -453,6 +543,18 @@ impl Simulator {
     /// have completed.
     fn drive(&mut self, until: SimTime, stop_when_complete: bool) {
         let end = until.min(self.cfg.end_time);
+        // Conservative-parallel fast path. Falls back to this serial loop
+        // when lookahead is unavailable (zero-delay cross link, single
+        // partition) or the mode demands per-event global state
+        // (stop-when-complete polls a global counter; audit builds walk
+        // the whole network at checkpoints).
+        #[cfg(not(feature = "audit"))]
+        if !stop_when_complete {
+            let p = self.effective_partitions();
+            if p > 1 && crate::par::drive_parallel(self, end, p) {
+                return;
+            }
+        }
         let total = self.flows.len();
         #[cfg(feature = "audit")]
         let checkpoint_every = self.audit.config().checkpoint_every.max(1);
@@ -577,6 +679,7 @@ impl Simulator {
         let queued: u64 = self
             .nodes
             .iter()
+            .flatten()
             .map(|n| {
                 let q = match n {
                     Node::Host(h) => h.audit_queued_packets(),
@@ -612,7 +715,7 @@ impl Simulator {
         self.audit.note_check(InvariantFamily::Conservation);
 
         // (b) Per-node buffer accounting and local protocol state.
-        for node in &self.nodes {
+        for node in self.nodes.iter().flatten() {
             match node {
                 Node::Host(h) => h.audit_check(&mut self.audit, now),
                 Node::Eth(s) => s.audit_check(&mut self.audit, now),
@@ -642,12 +745,12 @@ impl Simulator {
                 for p in 0..self.topo.ports(id).len() as u16 {
                     let lnk = self.topo.link(id, p);
                     for vl in 0..self.cfg.num_prios {
-                        let tx = match &self.nodes[id.index()] {
+                        let tx = match self.node(id) {
                             Node::Ib(s) => Some(s.audit_cbfc_tx(p, vl)),
                             Node::Host(h) => h.audit_cbfc_tx(vl),
                             Node::Eth(_) => None,
                         };
-                        let rx = match &self.nodes[lnk.peer.index()] {
+                        let rx = match self.node(lnk.peer) {
                             Node::Ib(s) => Some(s.audit_cbfc_rx(lnk.peer_port, vl)),
                             Node::Host(h) => h.audit_cbfc_rx(vl),
                             Node::Eth(_) => None,
@@ -728,7 +831,7 @@ impl Simulator {
         let mut chans: BTreeSet<(NodeId, u16)> = BTreeSet::new();
         for n in 0..self.topo.node_count() as u32 {
             let id = NodeId(n);
-            let ports = match &self.nodes[id.index()] {
+            let ports = match self.node(id) {
                 Node::Eth(s) => s.audit_blocked_channels(),
                 Node::Ib(s) => s.audit_blocked_channels(),
                 Node::Host(_) => Vec::new(),
@@ -741,7 +844,7 @@ impl Simulator {
         let mut adj: BTreeMap<(NodeId, u16), Vec<(NodeId, u16)>> = BTreeMap::new();
         for &(u, p) in &chans {
             let l = self.topo.link(u, p);
-            let succ = match &self.nodes[l.peer.index()] {
+            let succ = match self.node(l.peer) {
                 Node::Eth(s) => s.audit_wait_successors(l.peer_port),
                 Node::Ib(s) => s.audit_wait_successors(l.peer_port),
                 Node::Host(_) => Vec::new(),
@@ -835,7 +938,7 @@ impl Simulator {
             // (state per egress, upstream egresses we are pausing)
             let mut states = Vec::with_capacity(n_ports as usize);
             let mut paused_upstreams = Vec::new();
-            match &self.nodes[id.index()] {
+            match self.node(id) {
                 Node::Eth(sw) => {
                     for p in 0..n_ports {
                         states.push(sw.port(p).port_state(prio));
@@ -883,10 +986,25 @@ impl Simulator {
         self.trace.completed_count == self.flows.len()
     }
 
+    /// How many intra-run partition workers this run should use:
+    /// [`SimConfig::partitions`] when nonzero, else the `TCD_PARTITIONS`
+    /// environment variable, else 1 (serial).
+    #[cfg(not(feature = "audit"))]
+    fn effective_partitions(&self) -> usize {
+        if self.cfg.partitions != 0 {
+            return self.cfg.partitions;
+        }
+        std::env::var("TCD_PARTITIONS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&p| p >= 1)
+            .unwrap_or(1)
+    }
+
     // simlint: allow(hot-path-panic) -- event node/flow ids are created against this topology at
     // setup, so they index nodes/flows in bounds; pending_cc and the RouteUpdate baseline are
     // invariants the expect() messages document
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
+    pub(crate) fn dispatch(&mut self, now: SimTime, ev: Event) {
         self.trace.events += 1;
         self.obs.dispatched(ev.kind_index());
         // Split borrows: nodes vs the rest of the context.
@@ -909,65 +1027,6 @@ impl Simulator {
             };
         }
         match ev {
-            Event::PacketArrival { node, in_port, pkt } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Host(h) => h.on_packet(&mut ctx, pkt),
-                    Node::Eth(s) => s.on_packet(&mut ctx, in_port, pkt),
-                    Node::Ib(s) => s.on_packet(&mut ctx, in_port, pkt),
-                }
-            }
-            Event::PortTx { node, port } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Host(h) => h.port_tx(&mut ctx),
-                    Node::Eth(s) => s.port_tx(&mut ctx, port),
-                    Node::Ib(s) => s.port_tx(&mut ctx, port),
-                }
-            }
-            Event::FcclTick { node, port, vl } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Host(h) => h.on_fccl_tick(&mut ctx, vl),
-                    Node::Ib(s) => s.on_fccl_tick(&mut ctx, port, vl),
-                    Node::Eth(_) => unreachable!("FCCL tick in CEE mode"),
-                }
-            }
-            Event::DetectorTimer { node, port, prio } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Eth(s) => s.on_detector_timer(&mut ctx, port, prio),
-                    Node::Ib(s) => s.on_detector_timer(&mut ctx, port, prio),
-                    Node::Host(_) => unreachable!("detector timer at a host"),
-                }
-            }
-            Event::FlowStart { flow } => {
-                let spec = self.flows[flow.0 as usize];
-                let cc = self.pending_cc[flow.0 as usize]
-                    .take()
-                    .expect("flow started twice");
-                let mut ctx = ctx!();
-                match &mut self.nodes[spec.src.index()] {
-                    Node::Host(h) => {
-                        h.start_flow(&mut ctx, flow, spec.dst, spec.size, spec.prio, cc)
-                    }
-                    _ => unreachable!("flow source is not a host"),
-                }
-            }
-            Event::CcTimer { node, flow, timer } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Host(h) => h.on_cc_timer(&mut ctx, flow, timer),
-                    _ => unreachable!("CC timer at a switch"),
-                }
-            }
-            Event::HostDrain { node } => {
-                let mut ctx = ctx!();
-                match &mut self.nodes[node.index()] {
-                    Node::Host(h) => h.on_host_drain(&mut ctx),
-                    _ => unreachable!("HostDrain at a switch"),
-                }
-            }
             Event::TraceTick => {
                 self.sample_ports(now);
                 if let Some(dt) = self.cfg.trace_interval {
@@ -997,7 +1056,10 @@ impl Simulator {
                 );
                 let mut ctx = ctx!();
                 for (n, p) in [(node, port), (l.peer, l.peer_port)] {
-                    match &mut self.nodes[n.index()] {
+                    match self.nodes[n.index()]
+                        .as_mut()
+                        .expect("faulted node owned by a parallel worker")
+                    {
                         Node::Host(h) => h.on_link_state(&mut ctx, up),
                         Node::Eth(s) => s.on_link_state(&mut ctx, p, up),
                         Node::Ib(s) => s.on_link_state(&mut ctx, p, up),
@@ -1045,13 +1107,20 @@ impl Simulator {
                 self.obs
                     .fault(now, u32::MAX, u16::MAX, "fault.route_update");
             }
+            ev => {
+                let mut ctx = ctx!();
+                dispatch_node_event(&mut self.nodes, &mut self.pending_cc, &mut ctx, ev);
+            }
         }
     }
 
     // simlint: allow(hot-path-panic) -- sample_ports entries are validated node ids at config time
     fn sample_ports(&mut self, now: SimTime) {
         for &(node, port, prio) in &self.cfg.sample_ports {
-            let s = match &self.nodes[node.index()] {
+            let s = match self.nodes[node.index()]
+                .as_ref()
+                .expect("sampled node owned by a parallel worker")
+            {
                 Node::Eth(sw) => {
                     let p = sw.port(port);
                     PortSample {
@@ -1094,8 +1163,8 @@ impl Simulator {
     }
 
     /// A snapshot of the metrics registry with the engine-side counters
-    /// that live outside it (per-kind dispatch counts, packet-pool
-    /// hit/miss, trace drop counters) folded in. Pure read — safe to call
+    /// that live outside it (per-kind dispatch counts, trace drop
+    /// counters) folded in. Pure read — safe to call
     /// at any point, typically once after `run*`. Empty when observability
     /// is off.
     pub fn obs_registry(&self) -> lossless_obs::Registry {
@@ -1105,9 +1174,9 @@ impl Simulator {
             for (i, name) in Event::KIND_NAMES.iter().enumerate() {
                 reg.set_counter(Key::global(name), self.obs.dispatch_count(i));
             }
-            let (hits, misses) = self.pool.stats();
-            reg.set_counter(Key::global("pool.hit"), hits);
-            reg.set_counter(Key::global("pool.miss"), misses);
+            // Packet-pool hit/miss counters are deliberately NOT exported:
+            // they depend on global allocation order, which partitioned
+            // runs (each shard pools privately) cannot reproduce.
             reg.set_counter(Key::global("trace.dropped_marks"), self.trace.dropped_marks);
             reg.set_counter(
                 Key::global("trace.dropped_port_samples"),

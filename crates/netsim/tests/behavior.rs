@@ -107,7 +107,7 @@ fn cnp_feedback_is_rate_limited_per_flow() {
     // and a congested path, CNPs arrive at most once per 50us.
     struct Counter {
         rate: Rate,
-        feedbacks: std::rc::Rc<std::cell::Cell<u64>>,
+        feedbacks: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl RateController for Counter {
         fn start(&mut self, _now: SimTime, line_rate: Rate) -> CcAction {
@@ -116,7 +116,8 @@ fn cnp_feedback_is_rate_limited_per_flow() {
         }
         fn on_event(&mut self, _now: SimTime, ev: CcEvent) -> CcAction {
             if matches!(ev, CcEvent::Feedback { .. }) {
-                self.feedbacks.set(self.feedbacks.get() + 1);
+                self.feedbacks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
             CcAction::none()
         }
@@ -135,7 +136,7 @@ fn cnp_feedback_is_rate_limited_per_flow() {
         notify_ue: false,
     };
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
-    let count = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let _ = sim.add_flow(
         f2.s1,
         f2.r1,
@@ -158,8 +159,15 @@ fn cnp_feedback_is_rate_limited_per_flow() {
     }
     sim.run();
     // 5 ms / 50 us = at most 100 CNPs (plus one initial).
-    assert!(count.get() > 0, "expected some CNPs under congestion");
-    assert!(count.get() <= 101, "CNPs not rate-limited: {}", count.get());
+    assert!(
+        count.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "expected some CNPs under congestion"
+    );
+    assert!(
+        count.load(std::sync::atomic::Ordering::Relaxed) <= 101,
+        "CNPs not rate-limited: {}",
+        count.load(std::sync::atomic::Ordering::Relaxed)
+    );
 }
 
 #[test]
@@ -201,7 +209,7 @@ fn ue_notifications_require_opt_in() {
     // opted-in controller sees Feedback{UE}.
     struct UeSpy {
         rate: Rate,
-        ue_seen: std::rc::Rc<std::cell::Cell<u64>>,
+        ue_seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl RateController for UeSpy {
         fn start(&mut self, _now: SimTime, line_rate: Rate) -> CcAction {
@@ -211,7 +219,8 @@ fn ue_notifications_require_opt_in() {
         fn on_event(&mut self, _now: SimTime, ev: CcEvent) -> CcAction {
             if let CcEvent::Feedback { code } = ev {
                 if code == CodePoint::UE {
-                    self.ue_seen.set(self.ue_seen.get() + 1);
+                    self.ue_seen
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             }
             CcAction::none()
@@ -237,7 +246,7 @@ fn ue_notifications_require_opt_in() {
             notify_ue,
         };
         let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
-        let ue = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let ue = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         // F0 is a victim: its packets carry UE through the paused chain.
         let _ = sim.add_flow(
             f2.s0,
@@ -266,7 +275,7 @@ fn ue_notifications_require_opt_in() {
             Box::new(FixedRate::line_rate()),
         );
         sim.run();
-        ue.get()
+        ue.load(std::sync::atomic::Ordering::Relaxed)
     };
     assert!(
         run_once(true) > 0,
@@ -336,7 +345,7 @@ fn timely_acks_echo_code_points() {
     // marks applied to its data packets.
     struct EchoSpy {
         rate: Rate,
-        marked: std::rc::Rc<std::cell::Cell<u64>>,
+        marked: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl RateController for EchoSpy {
         fn start(&mut self, _now: SimTime, line_rate: Rate) -> CcAction {
@@ -346,7 +355,8 @@ fn timely_acks_echo_code_points() {
         fn on_event(&mut self, _now: SimTime, ev: CcEvent) -> CcAction {
             if let CcEvent::Ack { code, .. } = ev {
                 if code.is_marked() {
-                    self.marked.set(self.marked.get() + 1);
+                    self.marked
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             }
             CcAction::none()
@@ -363,7 +373,7 @@ fn timely_acks_echo_code_points() {
     let mut cfg = SimConfig::cee_baseline(SimTime::from_ms(4));
     cfg.feedback = FeedbackMode::AckPerPacket;
     let mut sim = Simulator::new(f2.topo.clone(), cfg, RouteSelect::Ecmp);
-    let marked = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let marked = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let _ = sim.add_flow(
         f2.s1,
         f2.r1,
@@ -384,5 +394,8 @@ fn timely_acks_echo_code_points() {
         );
     }
     sim.run();
-    assert!(marked.get() > 0, "congested flow's ACKs must echo CE marks");
+    assert!(
+        marked.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "congested flow's ACKs must echo CE marks"
+    );
 }

@@ -44,6 +44,12 @@ pub struct FnDef {
     /// Behind `#[cfg(test)]` / `#[cfg(feature = ...)]` (directly or via an
     /// enclosing item): never part of the unconditional event path.
     pub cfg_gated: bool,
+    /// Marked `// simlint: cold -- <reason>`: declared off the per-event
+    /// path (per-window/per-epoch orchestration, setup, teardown).
+    /// Reachability neither classifies it as hot nor traverses through
+    /// it; the directive requires a justification, checked by the code
+    /// lint.
+    pub cold: bool,
     /// Every call site in the body.
     pub calls: Vec<CallRef>,
 }
@@ -68,9 +74,30 @@ pub fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
 }
 
 /// Extract every function definition from `src` (workspace-relative path
-/// `relpath` is recorded on each definition).
+/// `relpath` is recorded on each definition). `// simlint: cold` markers
+/// in the source are resolved here: each marks the next function
+/// definition below it.
 pub fn extract(relpath: &str, src: &str) -> Vec<FnDef> {
-    extract_tokens(relpath, &lex(src).tokens)
+    let lexed = lex(src);
+    let mut defs = extract_tokens(relpath, &lexed.tokens);
+    for c in &lexed.comments {
+        let is_cold = c
+            .text
+            .trim()
+            .strip_prefix("simlint:")
+            .is_some_and(|r| r.trim().starts_with("cold"));
+        if !is_cold {
+            continue;
+        }
+        if let Some(d) = defs
+            .iter_mut()
+            .filter(|d| d.from_line > c.line)
+            .min_by_key(|d| d.from_line)
+        {
+            d.cold = true;
+        }
+    }
+    defs
 }
 
 /// Item keywords that consume a pending attribute without being callable.
@@ -210,6 +237,7 @@ pub fn extract_tokens(relpath: &str, toks: &[Token]) -> Vec<FnDef> {
                         from_line: t.line,
                         to_line: toks[end].line,
                         cfg_gated: gated,
+                        cold: false,
                         calls: body_calls(&toks[open + 1..end]),
                     });
                 }

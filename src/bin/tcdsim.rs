@@ -72,6 +72,10 @@ perf options:      --top N                  hot-kind report depth (default 8)
                                             each scenario's newest entry is >= 90%
                                             of the trailing median of comparable
                                             (same-fingerprint) prior entries
+                   --partitions N           partition workers for the profiled
+                                            run (default 1 = serial; event count
+                                            and fingerprint are identical at
+                                            any value)
 lint options:      --code                   run only the workspace code lint
                    --topo NAME              run only the topology analysis of
                                             NAME (repeatable); without flags,
@@ -107,6 +111,7 @@ struct Args {
     history: Option<String>,
     gate: bool,
     top: usize,
+    partitions: usize,
 }
 
 fn parse() -> Args {
@@ -135,6 +140,7 @@ fn parse() -> Args {
         history: None,
         gate: false,
         top: 8,
+        partitions: 1,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -233,6 +239,14 @@ fn parse() -> Args {
             "--gate" => {
                 a.gate = true;
                 i += 1;
+            }
+            "--partitions" => {
+                a.partitions = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage());
+                i += 2;
             }
             "--top" => {
                 a.top = argv
@@ -449,6 +463,46 @@ fn cmd_sweep(a: &Args) {
         eps_wheel / eps_heap.max(1.0)
     );
     println!("  heap:  {heap_note}\n  wheel: {wheel_note}");
+    // Intra-run parallel lanes: the same k=6 workload split across 8
+    // partition workers, then the larger fat-tree k=8 workload serial
+    // vs parallel. The equality asserts are the conservative-parallel
+    // executor's headline guarantee measured end to end on every sweep:
+    // same event count, same fingerprint, at any worker count.
+    println!("timing fat-tree k=6 workload: 8 partition workers...");
+    let tp_wheel_p8 =
+        harness::timed_throughput(|| scenarios::fat_tree_k6_bench_par(QueueKind::Wheel, 8));
+    assert_eq!(
+        (tp_wheel.fingerprint, tp_wheel.events),
+        (tp_wheel_p8.fingerprint, tp_wheel_p8.events),
+        "parallel fat-tree k=6 run diverged from serial"
+    );
+    println!("timing fat-tree k=8 workload: serial vs 8 partition workers...");
+    let tp_k8 = harness::timed_throughput(|| scenarios::fat_tree_k8_bench(QueueKind::Wheel, 1));
+    let tp_k8_p8 = harness::timed_throughput(|| scenarios::fat_tree_k8_bench(QueueKind::Wheel, 8));
+    assert_eq!(
+        (tp_k8.fingerprint, tp_k8.events),
+        (tp_k8_p8.fingerprint, tp_k8_p8.events),
+        "parallel fat-tree k=8 run diverged from serial"
+    );
+    let eps_k6_p8 = tp_wheel_p8.best_eps();
+    let (eps_k8, eps_k8_p8) = (tp_k8.best_eps(), tp_k8_p8.best_eps());
+    let k6_p8_note = format!(
+        "{:.3}M events/s ({:.2}x serial wheel, same events + fingerprint)",
+        eps_k6_p8 / 1e6,
+        eps_k6_p8 / eps_wheel.max(1.0)
+    );
+    let k8_note = format!(
+        "{:.3}M events/s ({} events, fingerprint {:016x})",
+        eps_k8 / 1e6,
+        tp_k8.events,
+        tp_k8.fingerprint
+    );
+    let k8_p8_note = format!(
+        "{:.3}M events/s ({:.2}x serial, same events + fingerprint)",
+        eps_k8_p8 / 1e6,
+        eps_k8_p8 / eps_k8.max(1.0)
+    );
+    println!("  k6 x8: {k6_p8_note}\n  k8:    {k8_note}\n  k8 x8: {k8_p8_note}");
     let out_dir = a.out.as_deref().unwrap_or("results");
     let results = format!("{out_dir}/sweep.json");
     let bench = format!("{out_dir}/BENCH_sweep.json");
@@ -474,18 +528,39 @@ fn cmd_sweep(a: &Args) {
     let wheel_spread = spread_of(&tp_wheel);
     let speedup = format!("{:.2}", eps_wheel / eps_heap.max(1.0));
     let k6_fp = format!("{:016x}", tp_wheel.fingerprint);
+    let k6_p8_eps = format!("{eps_k6_p8:.0}");
+    let k6_p8_spread = spread_of(&tp_wheel_p8);
+    let k6_par_speedup = format!("{:.2}", eps_k6_p8 / eps_wheel.max(1.0));
+    let k8_eps = format!("{eps_k8:.0}");
+    let k8_p8_eps = format!("{eps_k8_p8:.0}");
+    let k8_spread = spread_of(&tp_k8);
+    let k8_p8_spread = spread_of(&tp_k8_p8);
+    let k8_par_speedup = format!("{:.2}", eps_k8_p8 / eps_k8.max(1.0));
+    let k8_fp = format!("{:016x}", tp_k8.fingerprint);
     rep.write_bench_json(
         &bench,
         "tcdsim sweep (victim grid)",
         &[
             ("fat_tree_k6_heap", heap_note.as_str()),
             ("fat_tree_k6_wheel", wheel_note.as_str()),
+            ("fat_tree_k6_wheel_p8", k6_p8_note.as_str()),
             ("fat_tree_k6_heap_eps", heap_eps.as_str()),
             ("fat_tree_k6_wheel_eps", wheel_eps.as_str()),
+            ("fat_tree_k6_wheel_p8_eps", k6_p8_eps.as_str()),
             ("fat_tree_k6_heap_spread", heap_spread.as_str()),
             ("fat_tree_k6_wheel_spread", wheel_spread.as_str()),
+            ("fat_tree_k6_wheel_p8_spread", k6_p8_spread.as_str()),
             ("fat_tree_k6_speedup", speedup.as_str()),
+            ("fat_tree_k6_par_speedup", k6_par_speedup.as_str()),
             ("fat_tree_k6_fingerprint", k6_fp.as_str()),
+            ("fat_tree_k8_wheel", k8_note.as_str()),
+            ("fat_tree_k8_wheel_p8", k8_p8_note.as_str()),
+            ("fat_tree_k8_wheel_eps", k8_eps.as_str()),
+            ("fat_tree_k8_wheel_p8_eps", k8_p8_eps.as_str()),
+            ("fat_tree_k8_wheel_spread", k8_spread.as_str()),
+            ("fat_tree_k8_wheel_p8_spread", k8_p8_spread.as_str()),
+            ("fat_tree_k8_par_speedup", k8_par_speedup.as_str()),
+            ("fat_tree_k8_fingerprint", k8_fp.as_str()),
         ],
     )
     .expect("write bench record");
@@ -500,6 +575,9 @@ fn cmd_sweep(a: &Args) {
         let entries = [
             harness::HistoryEntry::from_throughput("fat_tree_k6_heap", &tp_heap, None),
             harness::HistoryEntry::from_throughput("fat_tree_k6_wheel", &tp_wheel, digest),
+            harness::HistoryEntry::from_throughput("fat_tree_k6_wheel_p8", &tp_wheel_p8, None),
+            harness::HistoryEntry::from_throughput("fat_tree_k8_wheel", &tp_k8, None),
+            harness::HistoryEntry::from_throughput("fat_tree_k8_wheel_p8", &tp_k8_p8, None),
         ];
         harness::append_history(hist, &entries).expect("append perf history");
         println!("appended {} entries to {hist}", entries.len());
@@ -622,8 +700,15 @@ fn cmd_perf(a: &Args) {
         return;
     }
 
-    eprintln!("profiling fat-tree k=6 workload (wheel queue)...");
-    let mut sim = scenarios::fat_tree_k6_bench(QueueKind::Wheel);
+    if a.partitions > 1 {
+        eprintln!(
+            "profiling fat-tree k=6 workload (wheel queue, {} partition workers)...",
+            a.partitions
+        );
+    } else {
+        eprintln!("profiling fat-tree k=6 workload (wheel queue)...");
+    }
+    let mut sim = scenarios::fat_tree_k6_bench_par(QueueKind::Wheel, a.partitions);
     sim.enable_profiler(ProfConfig::default());
     sim.run();
     let profile = sim.profile().expect("profiler was armed");

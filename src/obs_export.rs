@@ -319,7 +319,9 @@ mod tests {
         // The engine counters folded in by obs_registry.
         assert!(doc.contains("engine.events"));
         assert!(doc.contains("engine.dispatch.packet_arrival"));
-        assert!(doc.contains("pool.hit"));
+        // Pool hit/miss counters are deliberately absent: they depend on
+        // global allocation order, which partitioned runs cannot reproduce.
+        assert!(!doc.contains("pool.hit"));
     }
 
     #[test]

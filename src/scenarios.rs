@@ -174,6 +174,15 @@ pub fn default_config(network: Network, use_tcd: bool, end: SimTime) -> SimConfi
 /// construction; the caller picks the event-queue core so heap and wheel
 /// time head-to-head on identical schedules.
 pub fn fat_tree_k6_bench(queue: lossless_netsim::QueueKind) -> Simulator {
+    fat_tree_k6_bench_par(queue, 1)
+}
+
+/// [`fat_tree_k6_bench`] with an explicit intra-run partition worker
+/// count: `1` pins the serial engine (ignoring `TCD_PARTITIONS`, so the
+/// baseline number is a baseline no matter the environment), `n > 1`
+/// requests the conservative-parallel executor. Same workload, same
+/// schedule, same fingerprint at any worker count.
+pub fn fat_tree_k6_bench_par(queue: lossless_netsim::QueueKind, partitions: usize) -> Simulator {
     let (sim, _ft, _flows) = workload::build(
         workload::Options {
             network: Network::Cee,
@@ -193,10 +202,45 @@ pub fn fat_tree_k6_bench(queue: lossless_netsim::QueueKind) -> Simulator {
         },
         |cfg| {
             cfg.queue = queue;
+            cfg.partitions = partitions;
             // Benchmark the engine, not the instrumentation: recorder and
             // registry writes are identical per-event work on both cores
             // and only dilute the queue-cost comparison. Dynamics (and so
             // the run fingerprint) are unaffected by the obs level.
+            cfg.obs.level = lossless_obs::ObsLevel::Off;
+        },
+    );
+    sim
+}
+
+/// The fat-tree k=8 run multi-core scaling is quoted on: the same §5.2
+/// realistic workload as [`fat_tree_k6_bench`] scaled up to 128 hosts —
+/// 80 switches and enough per-pod locality that an 8-way pod-aware
+/// partition keeps most traffic shard-local, which is exactly the regime
+/// the conservative-parallel executor targets. `partitions = 1` pins the
+/// serial engine; the fingerprint is identical at any worker count.
+pub fn fat_tree_k8_bench(queue: lossless_netsim::QueueKind, partitions: usize) -> Simulator {
+    let (sim, _ft, _flows) = workload::build(
+        workload::Options {
+            network: Network::Cee,
+            cc: Cc {
+                algo: CcAlgo::Dcqcn,
+                tcd: true,
+            },
+            use_tcd: true,
+            k: 8,
+            workload: workload::Workload::Hadoop,
+            load: 0.6,
+            flows: 50_000,
+            incast_fraction: 0.05,
+            incast_fanin: 16,
+            seed: 1,
+            deadline: SimTime::from_ms(5),
+        },
+        |cfg| {
+            cfg.queue = queue;
+            cfg.partitions = partitions;
+            // Engine-only timing, as in the k=6 bench.
             cfg.obs.level = lossless_obs::ObsLevel::Off;
         },
     );
